@@ -1,0 +1,33 @@
+"""Fig. 7 — hash-table-index footprint vs bucket count.
+
+Paper: sweeping the first-level bucket count from 2^21 to 2^28 trades
+memory footprint (grows with buckets) against hash collisions (max
+minimizers per bucket shrinks); 2^24 is the chosen balance, with a
+9.8 GB total index for the human genome.
+
+Here: the same sweep (scaled bucket range) on the scaled human-like
+graph, plus the footprint formula evaluated at paper scale.
+"""
+
+from __future__ import annotations
+
+from repro.eval.experiments import fig7_bucket_sweep
+
+
+def test_fig7_bucket_count(benchmark, show):
+    rows = benchmark.pedantic(fig7_bucket_sweep, rounds=1, iterations=1)
+    show(rows, "Fig. 7 — index footprint / bucket occupancy vs bucket "
+               "count")
+
+    live = [r for r in rows if r["series"].startswith("live")]
+    # Shape 1: footprint grows monotonically with bucket count.
+    footprints = [r["footprint_mb"] for r in live]
+    assert footprints == sorted(footprints)
+    # Shape 2: max minimizers per bucket shrinks monotonically.
+    occupancy = [r["max_minimizers_per_bucket"] for r in live]
+    assert occupancy == sorted(occupancy, reverse=True)
+    # Paper-scale anchor: the formula lands near the published 9.8 GB
+    # (decimal GB; our rows are MiB).
+    paper = [r for r in rows if "paper scale" in r["series"]][0]
+    paper_bytes = paper["footprint_mb"] * (1 << 20)
+    assert abs(paper_bytes - 9.8e9) / 9.8e9 < 0.01

@@ -1,0 +1,28 @@
+"""Fig. 13 — fraction of hops covered vs hop limit.
+
+Paper: a hop limit of 12 covers >99 % of all hops in the GIAB-based
+human genome graph, because variation is dominated by SNPs and small
+indels (short hops); SVs (long hops) are rare.
+
+Here: the same curve on the scaled GIAB-like graph.
+"""
+
+from __future__ import annotations
+
+from repro.eval.experiments import fig13_hop_limit
+
+
+def test_fig13_hop_limit(benchmark, show):
+    rows = benchmark.pedantic(fig13_hop_limit, rounds=1, iterations=1)
+    show(rows, "Fig. 13 — hop coverage vs hop limit")
+
+    coverage = {r["hop_limit"]: r["fraction_of_hops_covered"]
+                for r in rows}
+    # Shape: monotone non-decreasing in the limit.
+    values = [coverage[l] for l in sorted(coverage)]
+    assert values == sorted(values)
+    # Anchor: the paper's chosen limit of 12 covers >99 % of hops.
+    assert coverage[12] > 0.99
+    # SNP bubbles (hop length 2) dominate: a limit of 2 already covers
+    # the large majority.
+    assert coverage[2] > 0.80

@@ -1,0 +1,40 @@
+"""Fig. 16 — short-read mapping throughput: GraphAligner / vg / SeGraM.
+
+Paper: SeGraM outperforms GraphAligner by 106x and vg by 742x on
+Illumina 100/150/250 bp reads; throughput falls as read length grows
+(more seeds and windows per read) but the speedup stays above 52x;
+power drops 3.0x/3.2x.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.experiments import fig16_short_reads
+from repro.hw import baselines
+
+
+def test_fig16_short_read_throughput(benchmark, show):
+    rows = benchmark(fig16_short_reads)
+    show(rows, "Fig. 16 — short-read throughput (model + derived "
+               "baselines)")
+
+    throughputs = []
+    for row in rows:
+        segram = row["SeGraM_reads_per_s (model)"]
+        graphaligner = row["GraphAligner_reads_per_s (derived)"]
+        vg = row["vg_reads_per_s (derived)"]
+        throughputs.append(segram)
+        # Who wins on short reads: SeGraM >> GraphAligner > vg
+        # (vg is the slower CPU tool here, unlike on long reads).
+        assert segram > graphaligner > vg
+        # Factor: ratios are the published ones; the absolute model
+        # throughput is in the hundreds of thousands of reads/s.
+        assert segram == pytest.approx(vg * 742.0, rel=1e-6)
+        assert segram > 100_000
+        # Even the floor of the speedup range stays above 52x.
+        assert segram / graphaligner > \
+            baselines.SHORT_READ_SPEEDUP_FLOOR
+
+    # Shape: throughput decreases with read length (100 > 150 > 250).
+    assert throughputs == sorted(throughputs, reverse=True)

@@ -1,0 +1,37 @@
+"""Fig. 17 — BitAlign vs PaSGAL (sequence-to-graph alignment).
+
+Paper: BitAlign beats 48-thread AVX-512 PaSGAL by 41x (LRC-L1), 539x
+(MHC1-M1), 67x (LRC-L2) and 513x (MHC1-M2); the speedup is "notably
+higher for long reads" thanks to the divide-and-conquer windowing.
+
+Here: model runtimes + derived PaSGAL, and a live work-complexity
+check — the DP/BitAlign work ratio must grow with read length.
+"""
+
+from __future__ import annotations
+
+from repro.eval.experiments import fig17_pasgal_live, fig17_pasgal_model
+
+
+def test_fig17_model(benchmark, show):
+    rows = benchmark(fig17_pasgal_model)
+    show(rows, "Fig. 17 — BitAlign vs PaSGAL (model + derived)")
+
+    for row in rows:
+        assert row["PaSGAL_ms (derived)"] > row["BitAlign_ms (model)"]
+    # BitAlign runtimes stay in the sub-second range for every dataset
+    # (the figure's BitAlign bars are orders of magnitude below
+    # PaSGAL's).
+    assert all(row["BitAlign_ms (model)"] < 1_000 for row in rows)
+
+
+def test_fig17_live_work_shape(benchmark, show):
+    rows = benchmark.pedantic(fig17_pasgal_live, rounds=1, iterations=1)
+    show(rows, "Fig. 17 companion — DP vs windowed-BitAlign work "
+               "(live)")
+
+    short = rows[0]
+    long = rows[1]
+    # The windowing advantage grows with read length: quadratic DP
+    # cells vs linear BitAlign ops (why long-read speedups are larger).
+    assert long["work_ratio"] > 3 * short["work_ratio"]

@@ -1,0 +1,39 @@
+"""Section 11.2 — SeGraM vs the HGA GPU mapper on BRCA1 read sets.
+
+Paper: SeGraM provides 523x / 85x / 17x higher throughput than HGA on
+BRCA1-R1 (128 bp x 278,528), R2 (1,024 bp x 34,816) and R3 (8,192 bp x
+4,352), at 2.2x / 2.1x / 1.9x lower power.  The speedup shrinks with
+read length because HGA's whole-graph processing amortizes better on
+longer reads.
+
+Here: model runtimes + derived HGA numbers, plus a live functional run
+mapping vg-sim-style graph reads on the BRCA1-like graph.
+"""
+
+from __future__ import annotations
+
+from repro.eval.experiments import hga_comparison, hga_live_functional
+
+
+def test_hga_model_comparison(benchmark, show):
+    rows = benchmark(hga_comparison)
+    show(rows, "Section 11.2 — SeGraM vs HGA (BRCA1)")
+
+    speedups = [row["speedup (paper)"] for row in rows]
+    # Shape: the speedup decreases as reads get longer (523 > 85 > 17).
+    assert speedups == sorted(speedups, reverse=True)
+    for row in rows:
+        # SeGraM wins every dataset.
+        assert row["HGA_runtime_s (derived)"] > \
+            row["SeGraM_runtime_s (model)"]
+        assert row["power_reduction (paper)"] > 1.0
+
+
+def test_hga_live_functional(benchmark, show):
+    rows = benchmark.pedantic(hga_live_functional, rounds=1,
+                              iterations=1)
+    show(rows, "Section 11.2 companion — live graph-read mapping "
+               "(BRCA1-like)")
+    row = rows[0]
+    assert row["mapped"] >= row["reads"] * 0.75
+    assert row["start_on_true_path"] >= row["mapped"] * 0.75

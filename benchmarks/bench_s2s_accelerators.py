@@ -1,0 +1,54 @@
+"""Section 11.3 — BitAlign vs S2S alignment accelerators.
+
+Paper: used as a pure sequence-to-sequence aligner, BitAlign beats
+GACT/Darwin by 4.8x (long reads, at 2.7x power and 1.5x area), SillaX/
+GenAx by 2.4x (short reads), and GenASM by 1.2x/1.3x (long/short, at
+7.5x power and 2.6x area).
+
+Here: the published ratio table plus the model's demonstration that
+BitAlign's S2S mode is the S2G machinery on a chain graph (same cycle
+counts, no hop work).
+"""
+
+from __future__ import annotations
+
+from repro.core.bitalign import bitalign_distance
+from repro.eval.experiments import s2s_accelerators
+from repro.graph.genome_graph import GenomeGraph
+from repro.graph.linearize import linearize
+from repro.hw.bitalign_unit import BitAlignCycleModel
+
+
+def test_s2s_accelerator_comparison(benchmark, show):
+    rows = benchmark(s2s_accelerators)
+    show(rows, "Section 11.3 — BitAlign vs S2S accelerators "
+               "(published)")
+
+    by_name = {(r["accelerator"], r["workload"]): r for r in rows}
+    # BitAlign wins every comparison.
+    assert all(r["BitAlign_speedup (paper)"] > 1.0 for r in rows)
+    # The GenASM margin is the thinnest (it is the closest design).
+    genasm_long = by_name[("GenASM", "long")]["BitAlign_speedup (paper)"]
+    assert genasm_long == min(r["BitAlign_speedup (paper)"]
+                              for r in rows)
+    # Universality has a cost: power/area exceed the specialized
+    # S2S-only designs.
+    gact = by_name[("GACT (Darwin)", "long")]
+    assert gact["BitAlign_power_cost (paper)"] > 1.0
+    assert gact["BitAlign_area_cost (paper)"] > 1.0
+
+
+def test_s2s_mode_is_special_case_of_s2g(benchmark):
+    """S2S = S2G on a chain (paper Section 9): same aligner, same
+    result, and the cycle model charges the same window work."""
+
+    def run():
+        text = "ACGTACGTACGTACGTACGT" * 3
+        lin = linearize(GenomeGraph.from_linear(text, node_length=8))
+        result = bitalign_distance(lin, "ACGTACGTAC", k=2)
+        cycles = BitAlignCycleModel().alignment_cycles(10)
+        return result, cycles
+
+    (result, cycles) = benchmark(run)
+    assert result is not None and result[0] == 0
+    assert cycles == BitAlignCycleModel().cycles_per_window()

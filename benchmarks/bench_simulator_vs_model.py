@@ -1,0 +1,63 @@
+"""Cross-validation — cycle simulator vs analytical model.
+
+The paper uses "an in-house cycle-accurate simulator and a
+spreadsheet-based analytical model" (Section 10).  This benchmark runs
+both of this repo's counterparts on the same task — a clean long read
+against a chain region — and checks they agree; then it shows the
+simulator capturing data-dependent effects (noise-induced rescues)
+that the spreadsheet folds into a calibrated constant.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.graph.genome_graph import GenomeGraph
+from repro.graph.linearize import linearize
+from repro.hw.bitalign_unit import BitAlignCycleModel
+from repro.hw.simulator import SeGraMAcceleratorSim
+from repro.sim.errors import ErrorModel, apply_errors
+from repro.sim.reference import random_reference
+
+
+def run_comparison():
+    rng = random.Random(41)
+    text = random_reference(6_000, rng)
+    lin = linearize(GenomeGraph.from_linear(text, node_length=512))
+    sim = SeGraMAcceleratorSim()
+    model = BitAlignCycleModel()
+
+    rows = []
+    for error_rate in (0.0, 0.05, 0.10):
+        fragment = text[500:4_500]
+        if error_rate:
+            read, _ = apply_errors(fragment,
+                                   ErrorModel.pacbio(error_rate), rng)
+        else:
+            read = fragment
+        _, trace = sim.run_seed_task(lin, read, anchor=(500, 0))
+        rows.append({
+            "error_rate": error_rate,
+            "simulator_cycles": trace.compute_cycles,
+            "model_cycles": model.alignment_cycles(len(read)),
+            "windows": trace.windows_executed,
+            "rescues": trace.rescues,
+            "hop_queue_reads": trace.hop_queue_reads,
+        })
+    return rows
+
+
+def test_simulator_vs_model(benchmark, show):
+    rows = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    show(rows, "Simulator vs analytical model (4 kbp seed task)")
+
+    clean = rows[0]
+    # On clean input the two agree within 15 %.
+    ratio = clean["simulator_cycles"] / clean["model_cycles"]
+    assert 0.85 < ratio < 1.15
+    # Noise only adds cycles (rescues, longer tracebacks).
+    cycles = [r["simulator_cycles"] for r in rows]
+    assert cycles[1] >= cycles[0] * 0.95
+    assert cycles[2] >= cycles[0] * 0.95
+    # A chain region has no hops, so no hop-queue traffic.
+    assert all(r["hop_queue_reads"] == 0 for r in rows)

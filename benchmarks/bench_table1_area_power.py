@@ -1,0 +1,37 @@
+"""Table 1 — area and power breakdown of SeGraM.
+
+Paper: 0.867 mm2 / 758 mW per accelerator (28 nm, 1 GHz); 27.7 mm2 /
+24.3 W for 32 accelerators; 28.1 W including HBM.  Main contributors:
+hop queue registers (>60 % of the edit-distance logic) and the
+bitvector scratchpads.
+
+Here: the calibrated block model recomposes the totals and the
+dominance facts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.experiments import table1_area_power
+from repro.hw.area_power import AreaPowerModel
+
+
+def test_table1_area_power(benchmark, show):
+    rows = benchmark(table1_area_power)
+    show(rows, "Table 1 — area and power breakdown")
+
+    model = AreaPowerModel()
+    assert model.accelerator_area_mm2 == pytest.approx(0.867, abs=1e-3)
+    assert model.accelerator_power_mw == pytest.approx(758.0, abs=0.5)
+    assert model.system_area_mm2 == pytest.approx(27.7, abs=0.1)
+    assert model.system_power_w == pytest.approx(24.3, abs=0.1)
+    assert model.system_power_with_hbm_w == pytest.approx(28.1, abs=0.1)
+    area_share, power_share = model.hop_queue_share_of_edit_logic()
+    assert area_share > 0.6 and power_share > 0.6
+    # The two stated hot spots really are the two biggest blocks.
+    blocks = sorted(model.accelerator_blocks(),
+                    key=lambda b: b.power_mw, reverse=True)
+    names = {blocks[0].name, blocks[1].name}
+    assert "BitAlign hop queue registers" in names
+    assert "BitAlign bitvector scratchpads" in names

@@ -1,0 +1,82 @@
+"""Error-rate robustness study: mapping quality vs sequencing noise.
+
+The paper evaluates 5 % and 10 % error rates for long reads and finds
+SeGraM's throughput nearly unaffected (Section 11.2); this example
+asks the complementary *functional* question — how mapping quality and
+alignment effort respond as reads get noisier — by sweeping the error
+channel from 0 % to 12 % on a fixed graph.
+
+Run:  python examples/error_rate_robustness.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import SeGraM, SeGraMConfig
+from repro.core.windows import WindowingConfig
+from repro.eval.metrics import evaluate_linear_mappings
+from repro.eval.report import format_table
+from repro.sim.errors import ErrorModel
+from repro.sim.longread import LongReadProfile, simulate_long_reads
+from repro.sim.reference import random_reference
+from repro.sim.variants import VariantProfile, simulate_variants
+
+
+def main() -> None:
+    rng = random.Random(99)
+    reference = random_reference(100_000, rng)
+    variants = simulate_variants(
+        reference, rng,
+        VariantProfile(snp_rate=0.002, insertion_rate=0.0002,
+                       deletion_rate=0.0002, sv_rate=0.0),
+    )
+    mapper = SeGraM.from_reference(
+        reference, variants,
+        config=SeGraMConfig(
+            w=10, k=15, bucket_bits=12, error_rate=0.10,
+            windowing=WindowingConfig(window_size=128, overlap=48,
+                                      k=24),
+            max_seeds_per_read=4,
+        ),
+        max_node_length=4_096,
+    )
+
+    rows = []
+    for error_rate in (0.0, 0.03, 0.06, 0.09, 0.12):
+        profile = LongReadProfile(
+            read_length=1_500,
+            model=ErrorModel.nanopore(error_rate) if error_rate
+            else ErrorModel(0.0),
+        )
+        reads = simulate_long_reads(reference, 4, rng, profile,
+                                    name_prefix=f"e{error_rate}")
+        results = [mapper.map_read(r.sequence, r.name) for r in reads]
+        accuracy = evaluate_linear_mappings(results, reads,
+                                            tolerance=100)
+        mapped = [r for r in results if r.mapped]
+        rows.append({
+            "error_rate": error_rate,
+            "sensitivity": accuracy.sensitivity,
+            "mean_distance":
+                sum(r.distance for r in mapped) / len(mapped)
+                if mapped else None,
+            "mean_windows":
+                sum(r.windows for r in mapped) / len(mapped)
+                if mapped else None,
+            "total_rescues": sum(r.rescues for r in mapped),
+        })
+
+    print(format_table(rows,
+                       title="Mapping robustness vs error rate "
+                             "(1.5 kbp reads, scaled graph)"))
+    print("Distance grows with the channel error rate; rescues kick "
+          "in when an error burst\nexceeds the per-window threshold; "
+          "sensitivity degrades gracefully.")
+    clean = rows[0]
+    assert clean["sensitivity"] == 1.0
+    assert clean["mean_distance"] == 0
+
+
+if __name__ == "__main__":
+    main()

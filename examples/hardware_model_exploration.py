@@ -1,0 +1,95 @@
+"""Exploring the SeGraM hardware model: Table 1, Figs. 15/16, ablations.
+
+The `repro.hw` package reproduces the paper's hardware results from a
+calibrated analytical model.  This example prints the headline tables
+and then uses the model the way an architect would: sweeping design
+parameters the paper fixed (bitvector width, hop-queue depth,
+accelerator count) to see the trade-offs behind the chosen design
+point.
+
+Run:  python examples/hardware_model_exploration.py
+"""
+
+from __future__ import annotations
+
+from repro.eval.report import format_table
+from repro.hw.area_power import AreaPowerModel
+from repro.hw.bitalign_unit import BitAlignCycleModel
+from repro.hw.config import BitAlignUnitConfig, SeGraMSystemConfig
+from repro.hw.pipeline import SeGraMPerformanceModel, WorkloadProfile
+
+
+def main() -> None:
+    # --- Table 1 ------------------------------------------------------
+    area_power = AreaPowerModel()
+    print(format_table(area_power.table1_rows(),
+                       title="Table 1 — area/power breakdown (model)"))
+
+    # --- Headline latencies / throughput ------------------------------
+    model = SeGraMPerformanceModel()
+    rows = []
+    for workload in (WorkloadProfile.pacbio(0.05),
+                     WorkloadProfile.ont(0.10),
+                     WorkloadProfile.illumina(100),
+                     WorkloadProfile.illumina(250)):
+        rows.append({
+            "workload": workload.name,
+            "seed_task_us": model.seed_task_latency_us(
+                workload.read_length, workload.error_rate),
+            "reads_per_s": model.reads_per_second(workload),
+            "dataset_runtime_s": model.dataset_runtime_s(workload),
+        })
+    print(format_table(rows, title="Throughput model (Figs. 15/16)"))
+
+    # --- Ablation 1: bitvector width -----------------------------------
+    rows = []
+    for width in (32, 64, 128, 256):
+        config = BitAlignUnitConfig(bits_per_pe=width,
+                                    window_overlap=width * 3 // 8)
+        cycles = BitAlignCycleModel(config)
+        system = SeGraMSystemConfig(bitalign=config)
+        rows.append({
+            "W_bits": width,
+            "cycles_per_10kbp_read": cycles.alignment_cycles(10_000),
+            "accelerator_area_mm2":
+                AreaPowerModel(system).accelerator_area_mm2,
+        })
+    print(format_table(
+        rows, title="Ablation — bitvector width (performance vs area)"))
+
+    # --- Ablation 2: hop queue depth -----------------------------------
+    rows = []
+    for depth_bytes in (48, 96, 192, 384):
+        config = BitAlignUnitConfig(hop_queue_bytes_per_pe=depth_bytes)
+        system = SeGraMSystemConfig(bitalign=config)
+        ap = AreaPowerModel(system)
+        rows.append({
+            "hop_queue_B_per_PE": depth_bytes,
+            "accelerator_area_mm2": ap.accelerator_area_mm2,
+            "accelerator_power_mw": ap.accelerator_power_mw,
+        })
+    print(format_table(
+        rows,
+        title="Ablation — hop queue size (the paper's accuracy/cost "
+              "trade-off, footnote 2)"))
+
+    # --- Ablation 3: scaling out ---------------------------------------
+    rows = []
+    for stacks in (1, 2, 4, 8):
+        system = SeGraMSystemConfig(stacks=stacks)
+        perf = SeGraMPerformanceModel(system)
+        ap = AreaPowerModel(system)
+        rows.append({
+            "HBM_stacks": stacks,
+            "accelerators": system.total_accelerators,
+            "long_reads_per_s": perf.reads_per_second(
+                WorkloadProfile.pacbio(0.05)),
+            "system_power_w": ap.system_power_with_hbm_w,
+        })
+    print(format_table(
+        rows, title="Ablation — scaling with HBM stacks (linear, "
+                    "channel-isolated)"))
+
+
+if __name__ == "__main__":
+    main()

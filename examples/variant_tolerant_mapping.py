@@ -1,0 +1,87 @@
+"""Sequence-to-graph vs sequence-to-sequence mapping on variant reads.
+
+The paper's motivating claim (Sections 1–2): mapping against a genome
+graph removes reference bias — reads carrying known variants align
+exactly to the graph, while against the linear reference every variant
+costs an edit (and may push a read past mapping thresholds entirely).
+
+This example simulates a donor genome (reference + known variants),
+sequences reads from it, and maps them with the *same* SeGraM engine
+in both modes:
+
+* S2G — graph built from reference + variants;
+* S2S — the degenerate chain graph of the reference alone
+  (paper Section 9: S2S is a special case of S2G).
+
+Run:  python examples/variant_tolerant_mapping.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import SeGraM, SeGraMConfig
+from repro.core.windows import WindowingConfig
+from repro.sim.reference import random_reference
+from repro.sim.shortread import ShortReadProfile, simulate_short_reads
+from repro.sim.variants import VariantProfile, apply_variants, \
+    simulate_variants
+
+
+def main() -> None:
+    rng = random.Random(2022)
+    reference = random_reference(120_000, rng)
+
+    # Known variation (the donor carries all of it, GIAB-style).
+    variants = simulate_variants(
+        reference, rng,
+        VariantProfile(snp_rate=0.004, insertion_rate=0.0008,
+                       deletion_rate=0.0008, sv_rate=0.0),
+    )
+    donor_genome = apply_variants(reference, variants)
+    print(f"reference: {len(reference):,} bp, "
+          f"{len(variants)} known variants")
+
+    config = SeGraMConfig(
+        w=10, k=15, bucket_bits=12, error_rate=0.02,
+        windowing=WindowingConfig(window_size=128, overlap=48, k=16),
+        max_seeds_per_read=4,
+    )
+    graph_mapper = SeGraM.from_reference(reference, variants,
+                                         config=config,
+                                         max_node_length=4_096)
+    linear_mapper = SeGraM.from_reference(reference, config=config,
+                                          max_node_length=4_096)
+
+    # Sequence the donor: reads carry the donor's variants plus 1 %
+    # sequencing error.
+    reads = simulate_short_reads(
+        donor_genome, 25, rng,
+        ShortReadProfile.illumina(read_length=150, error_rate=0.01),
+    )
+
+    s2g_edits = 0
+    s2s_edits = 0
+    s2g_exact = 0
+    s2s_exact = 0
+    for read in reads:
+        s2g = graph_mapper.map_read(read.sequence, read.name)
+        s2s = linear_mapper.map_read(read.sequence, read.name)
+        if s2g.mapped:
+            s2g_edits += s2g.distance
+            s2g_exact += s2g.distance == 0
+        if s2s.mapped:
+            s2s_edits += s2s.distance
+            s2s_exact += s2s.distance == 0
+
+    print(f"\n{'':24}  S2G (graph)   S2S (linear)")
+    print(f"{'total edit distance':24}  {s2g_edits:<12}  {s2s_edits}")
+    print(f"{'reads mapped exactly':24}  {s2g_exact:<12}  {s2s_exact}")
+    print("\nGraph mapping absorbs the known variants; linear mapping "
+          "pays an edit for every variant allele a read carries "
+          "(reference bias).")
+    assert s2g_edits < s2s_edits
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,231 @@
+"""Dynamic-programming sequence-to-sequence alignment.
+
+The classical quadratic ASM algorithms of paper Section 2.1: global
+(Needleman–Wunsch with unit costs = Levenshtein) and *fitting* /
+semi-global alignment (the whole read aligned somewhere inside a
+reference window, both reference flanks free) — the mode every
+seed-extend mapper uses, and the semantics BitAlign implements in
+bitvector form.
+
+Distance-only entry points are numpy-vectorized row sweeps with O(n)
+memory; traceback entry points materialize the full matrix and are
+guarded by a cell budget so tests cannot accidentally allocate
+gigabytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.alignment import Cigar
+
+#: Refuse to materialize traceback matrices above this many cells.
+DEFAULT_MAX_CELLS = 64_000_000
+
+
+class AlignmentSizeError(ValueError):
+    """Raised when a traceback matrix would exceed the cell budget."""
+
+
+@dataclass(frozen=True)
+class LinearAlignment:
+    """A scored linear alignment with traceback.
+
+    Attributes:
+        distance: edit distance of the alignment.
+        cigar: the traceback (read vs. reference substring).
+        ref_start: start of the consumed reference span (inclusive).
+        ref_end: end of the consumed reference span (exclusive).
+    """
+
+    distance: int
+    cigar: Cigar
+    ref_start: int
+    ref_end: int
+
+
+def _encode(sequence: str) -> np.ndarray:
+    return np.frombuffer(sequence.encode("ascii"), dtype=np.uint8)
+
+
+def edit_distance(left: str, right: str) -> int:
+    """Global (Levenshtein) edit distance with O(min(m,n)) memory."""
+    if len(left) < len(right):
+        left, right = right, left
+    if not right:
+        return len(left)
+    a = _encode(left)
+    b = _encode(right)
+    previous = np.arange(len(b) + 1, dtype=np.int64)
+    for i in range(1, len(a) + 1):
+        current = np.empty_like(previous)
+        current[0] = i
+        substitution = previous[:-1] + (b != a[i - 1])
+        deletion = previous[1:] + 1
+        current[1:] = np.minimum(substitution, deletion)
+        # Insertion closure: current[j] = min(current[j], current[j-1]+1)
+        # == j + running_min(current - arange).
+        arange = np.arange(len(b) + 1)
+        np.minimum.accumulate(current - arange, out=current)
+        current += arange
+        previous = current
+    return int(previous[-1])
+
+
+def semiglobal_distance(reference: str, read: str) -> tuple[int, int]:
+    """Fitting-alignment distance of ``read`` inside ``reference``.
+
+    The read must be consumed entirely; the reference may be entered and
+    left anywhere (both flanks free).  Returns ``(distance, ref_end)``
+    where ``ref_end`` is the exclusive end of the best-scoring consumed
+    reference span (leftmost on ties).
+
+    An empty reference degenerates to all-insertions.
+    """
+    if not read:
+        raise ValueError("read must not be empty")
+    if not reference:
+        return len(read), 0
+    r = _encode(read)
+    t = _encode(reference)
+    m = len(r)
+    n = len(t)
+    # Row j holds distances for read prefix of length j against every
+    # reference prefix end; row 0 is all zeros (free reference prefix).
+    previous = np.zeros(n + 1, dtype=np.int64)
+    arange = np.arange(n + 1)
+    for j in range(1, m + 1):
+        current = np.empty_like(previous)
+        current[0] = j  # read prefix aligned before entering the reference
+        substitution = previous[:-1] + (t != r[j - 1])
+        insertion = previous[1:] + 1
+        current[1:] = np.minimum(substitution, insertion)
+        # Deletion closure along the reference axis.
+        np.minimum.accumulate(current - arange, out=current)
+        current += arange
+        previous = current
+    best_end = int(np.argmin(previous))
+    return int(previous[best_end]), best_end
+
+
+def _fitting_matrix(reference: str, read: str,
+                    max_cells: int) -> np.ndarray:
+    m, n = len(read), len(reference)
+    if (m + 1) * (n + 1) > max_cells:
+        raise AlignmentSizeError(
+            f"traceback matrix {(m + 1)}x{(n + 1)} exceeds the "
+            f"{max_cells}-cell budget; use semiglobal_distance or a "
+            "windowed aligner"
+        )
+    r = _encode(read)
+    t = _encode(reference)
+    table = np.zeros((m + 1, n + 1), dtype=np.int32)
+    table[:, 0] = np.arange(m + 1)
+    table[0, :] = 0  # free reference prefix
+    arange = np.arange(n + 1)
+    for j in range(1, m + 1):
+        substitution = table[j - 1, :-1] + (t != r[j - 1])
+        insertion = table[j - 1, 1:] + 1
+        row = np.empty(n + 1, dtype=np.int32)
+        row[0] = j
+        row[1:] = np.minimum(substitution, insertion)
+        np.minimum.accumulate(row - arange, out=row)
+        row += arange
+        table[j] = row
+    return table
+
+
+def semiglobal_align(reference: str, read: str,
+                     max_cells: int = DEFAULT_MAX_CELLS) -> LinearAlignment:
+    """Fitting alignment with traceback.
+
+    Traceback preference on ties: match/mismatch, then deletion, then
+    insertion — the same priority BitAlign's traceback uses, so CIGARs
+    are comparable across aligners.
+    """
+    if not read:
+        raise ValueError("read must not be empty")
+    if not reference:
+        cigar = Cigar(((("I", len(read)),)))
+        return LinearAlignment(len(read), cigar, 0, 0)
+    table = _fitting_matrix(reference, read, max_cells)
+    m = len(read)
+    ref_end = int(np.argmin(table[m]))
+    distance = int(table[m, ref_end])
+    ops: list[str] = []
+    i, j = ref_end, m  # i: reference column, j: read row
+    while j > 0:
+        if i > 0:
+            diag = table[j - 1, i - 1]
+            cost = 0 if read[j - 1] == reference[i - 1] else 1
+            if table[j, i] == diag + cost:
+                ops.append("=" if cost == 0 else "X")
+                i -= 1
+                j -= 1
+                continue
+            if table[j, i] == table[j, i - 1] + 1:
+                ops.append("D")
+                i -= 1
+                continue
+        # insertion (also the only option at the reference boundary)
+        ops.append("I")
+        j -= 1
+    ops.reverse()
+    cigar = Cigar.from_ops(ops)
+    return LinearAlignment(
+        distance=distance, cigar=cigar,
+        ref_start=ref_end - cigar.ref_consumed, ref_end=ref_end,
+    )
+
+
+def global_align(left: str, right: str,
+                 max_cells: int = DEFAULT_MAX_CELLS) -> LinearAlignment:
+    """Needleman–Wunsch global alignment (unit costs) with traceback.
+
+    ``left`` plays the reference role, ``right`` the read role; both
+    must be consumed entirely.
+    """
+    m, n = len(right), len(left)
+    if (m + 1) * (n + 1) > max_cells:
+        raise AlignmentSizeError(
+            f"traceback matrix {(m + 1)}x{(n + 1)} exceeds the "
+            f"{max_cells}-cell budget"
+        )
+    table = np.zeros((m + 1, n + 1), dtype=np.int32)
+    table[:, 0] = np.arange(m + 1)
+    table[0, :] = np.arange(n + 1)
+    r = _encode(right) if right else np.empty(0, dtype=np.uint8)
+    t = _encode(left) if left else np.empty(0, dtype=np.uint8)
+    arange = np.arange(n + 1)
+    for j in range(1, m + 1):
+        substitution = table[j - 1, :-1] + (t != r[j - 1])
+        insertion = table[j - 1, 1:] + 1
+        row = np.empty(n + 1, dtype=np.int32)
+        row[0] = j
+        row[1:] = np.minimum(substitution, insertion)
+        np.minimum.accumulate(row - arange, out=row)
+        row += arange
+        table[j] = row
+    ops: list[str] = []
+    i, j = n, m
+    while i > 0 or j > 0:
+        if i > 0 and j > 0:
+            cost = 0 if right[j - 1] == left[i - 1] else 1
+            if table[j, i] == table[j - 1, i - 1] + cost:
+                ops.append("=" if cost == 0 else "X")
+                i -= 1
+                j -= 1
+                continue
+        if i > 0 and table[j, i] == table[j, i - 1] + 1:
+            ops.append("D")
+            i -= 1
+            continue
+        ops.append("I")
+        j -= 1
+    ops.reverse()
+    return LinearAlignment(
+        distance=int(table[m, n]), cigar=Cigar.from_ops(ops),
+        ref_start=0, ref_end=n,
+    )

@@ -1,0 +1,244 @@
+"""Command-line interface: the SeGraM pipeline as a tool.
+
+Subcommands mirror the vg-style workflow of the paper's Section 5:
+
+* ``construct`` — build a variation graph from FASTA + VCF, emit GFA
+  (``vg construct`` + ``vg ids -s`` + ``vg view`` in one step);
+* ``index`` — build the minimizer hash index of a GFA graph and print
+  its Fig. 6/Fig. 7 statistics;
+* ``map`` — map FASTA/FASTQ reads against a reference (+ optional
+  VCF), emitting GAF (graph) or SAM (linear) records;
+* ``stats`` — graph statistics including the Fig. 13 hop profile;
+* ``model`` — query the hardware performance/area/power model.
+
+Run ``python -m repro <subcommand> --help`` for options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.core.mapper import SeGraM, SeGraMConfig
+from repro.core.windows import WindowingConfig
+from repro.eval.report import format_table
+from repro.graph.builder import build_graph
+from repro.graph.gfa import read_gfa, write_gfa
+from repro.graph.linearize import hop_coverage, hop_length_distribution
+from repro.index.hash_index import build_index
+from repro.io.fasta import read_fasta, read_fastq
+from repro.io.gaf import result_to_gaf, write_gaf
+from repro.io.sam import result_to_sam, write_sam
+from repro.io.vcf import read_vcf
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SeGraM reproduction: sequence-to-graph and "
+                    "sequence-to-sequence mapping",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    construct = sub.add_parser(
+        "construct", help="build a variation graph (FASTA + VCF -> GFA)")
+    construct.add_argument("--reference", required=True, type=Path)
+    construct.add_argument("--vcf", type=Path, default=None)
+    construct.add_argument("--output", required=True, type=Path)
+    construct.add_argument("--max-node-length", type=int, default=0)
+
+    index = sub.add_parser(
+        "index", help="build the minimizer index of a GFA graph")
+    index.add_argument("--graph", required=True, type=Path)
+    index.add_argument("-w", type=int, default=10,
+                       help="minimizer window (default 10)")
+    index.add_argument("-k", type=int, default=15,
+                       help="k-mer length (default 15)")
+    index.add_argument("--bucket-bits", type=int, default=14)
+
+    map_cmd = sub.add_parser(
+        "map", help="map reads to a reference (+ optional VCF)")
+    map_cmd.add_argument("--reference", required=True, type=Path)
+    map_cmd.add_argument("--vcf", type=Path, default=None)
+    map_cmd.add_argument("--reads", required=True, type=Path)
+    map_cmd.add_argument("--output", required=True, type=Path)
+    map_cmd.add_argument("--format", choices=("gaf", "sam"),
+                         default="gaf")
+    map_cmd.add_argument("--error-rate", type=float, default=0.05)
+    map_cmd.add_argument("-w", type=int, default=10)
+    map_cmd.add_argument("-k", type=int, default=15)
+    map_cmd.add_argument("--max-seeds", type=int, default=8)
+    map_cmd.add_argument("--hop-limit", type=int, default=None)
+    map_cmd.add_argument("--both-strands", action="store_true")
+
+    stats = sub.add_parser("stats", help="graph statistics")
+    stats.add_argument("--graph", required=True, type=Path)
+
+    model = sub.add_parser(
+        "model", help="hardware model: throughput / area / power")
+    model.add_argument("--workload",
+                       choices=("pacbio", "ont", "illumina"),
+                       default="pacbio")
+    model.add_argument("--read-length", type=int, default=None)
+    model.add_argument("--error-rate", type=float, default=None)
+    model.add_argument("--table1", action="store_true",
+                       help="print the Table 1 area/power breakdown")
+
+    return parser
+
+
+def _load_reference(path: Path) -> tuple[str, str]:
+    records = read_fasta(path)
+    if not records:
+        raise SystemExit(f"error: no FASTA records in {path}")
+    if len(records) > 1:
+        print(f"warning: {path} has {len(records)} records; using the "
+              f"first ({records[0].name})", file=sys.stderr)
+    return records[0].name, records[0].sequence.upper()
+
+
+def _load_reads(path: Path):
+    text = path.read_text(encoding="ascii", errors="strict")
+    if text.lstrip().startswith("@"):
+        return [(r.name, r.sequence) for r in read_fastq(path)]
+    return [(r.name, r.sequence) for r in read_fasta(path)]
+
+
+def cmd_construct(args: argparse.Namespace) -> int:
+    _, reference = _load_reference(args.reference)
+    variants = read_vcf(args.vcf) if args.vcf else []
+    built = build_graph(reference, variants,
+                        name=args.reference.stem,
+                        max_node_length=args.max_node_length)
+    write_gfa(built.graph, args.output)
+    graph = built.graph
+    print(f"wrote {args.output}: {graph.node_count} nodes, "
+          f"{graph.edge_count} edges, "
+          f"{graph.total_sequence_length} bases "
+          f"({len(built.alt_nodes)} alt nodes)")
+    return 0
+
+
+def cmd_index(args: argparse.Namespace) -> int:
+    graph = read_gfa(args.graph)
+    if not graph.is_topologically_sorted():
+        graph = graph.topologically_sorted()
+    index = build_index(graph, w=args.w, k=args.k,
+                        bucket_bits=args.bucket_bits)
+    layout = index.layout()
+    rows = [
+        {"level": "1 (buckets)", "entries": layout.bucket_count,
+         "bytes": layout.first_level_bytes},
+        {"level": "2 (minimizers)",
+         "entries": layout.distinct_minimizers,
+         "bytes": layout.second_level_bytes},
+        {"level": "3 (locations)", "entries": layout.total_locations,
+         "bytes": layout.third_level_bytes},
+        {"level": "total", "entries": None,
+         "bytes": layout.total_bytes},
+    ]
+    print(format_table(
+        rows, title=f"hash-table index <w={args.w},k={args.k}> of "
+                    f"{args.graph}"))
+    print(f"max minimizers per bucket: "
+          f"{layout.max_minimizers_per_bucket}")
+    return 0
+
+
+def cmd_map(args: argparse.Namespace) -> int:
+    ref_name, reference = _load_reference(args.reference)
+    variants = read_vcf(args.vcf) if args.vcf else []
+    config = SeGraMConfig(
+        w=args.w, k=args.k, bucket_bits=14,
+        error_rate=args.error_rate,
+        windowing=WindowingConfig(),
+        max_seeds_per_read=args.max_seeds,
+        hop_limit=args.hop_limit,
+        both_strands=args.both_strands,
+    )
+    mapper = SeGraM.from_reference(reference, variants, config=config,
+                                   name=ref_name,
+                                   max_node_length=4_096)
+    reads = _load_reads(args.reads)
+    results = [(mapper.map_read(seq, name), seq)
+               for name, seq in reads]
+    mapped = sum(1 for r, _ in results if r.mapped)
+    if args.format == "gaf":
+        records = [result_to_gaf(r, mapper.graph, seq)
+                   for r, seq in results]
+        write_gaf(args.output, [r for r in records if r is not None])
+    else:
+        records = [result_to_sam(r, seq, ref_name)
+                   for r, seq in results]
+        write_sam(args.output, records, ref_name, len(reference))
+    print(f"mapped {mapped}/{len(reads)} reads -> {args.output} "
+          f"({args.format})")
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    graph = read_gfa(args.graph)
+    if not graph.is_topologically_sorted():
+        graph = graph.topologically_sorted()
+    tables = graph.tables()
+    print(f"graph {args.graph}:")
+    print(f"  nodes: {graph.node_count}")
+    print(f"  edges: {graph.edge_count}")
+    print(f"  bases: {graph.total_sequence_length}")
+    print(f"  memory layout: node table {tables.node_table_bytes} B, "
+          f"char table {tables.char_table_bytes} B, "
+          f"edge table {tables.edge_table_bytes} B")
+    histogram = hop_length_distribution(graph)
+    coverage = hop_coverage(graph, [2, 4, 8, 12, 16])
+    print(f"  hops (distance > 1): {sum(histogram.values())}")
+    for limit in (2, 4, 8, 12, 16):
+        print(f"  hop coverage @ limit {limit}: "
+              f"{coverage[limit]:.3f}")
+    return 0
+
+
+def cmd_model(args: argparse.Namespace) -> int:
+    from repro.hw.area_power import AreaPowerModel
+    from repro.hw.pipeline import SeGraMPerformanceModel, \
+        WorkloadProfile
+
+    if args.table1:
+        print(format_table(AreaPowerModel().table1_rows(),
+                           title="Table 1 — area/power"))
+        return 0
+    if args.workload == "pacbio":
+        workload = WorkloadProfile.pacbio(args.error_rate or 0.05)
+    elif args.workload == "ont":
+        workload = WorkloadProfile.ont(args.error_rate or 0.10)
+    else:
+        workload = WorkloadProfile.illumina(args.read_length or 150)
+    model = SeGraMPerformanceModel()
+    print(f"workload: {workload.name}")
+    print(f"  seed task latency: "
+          f"{model.seed_task_latency_us(workload.read_length, workload.error_rate):.1f} us")
+    print(f"  system throughput: "
+          f"{model.reads_per_second(workload):,.0f} reads/s")
+    print(f"  10k-read dataset runtime: "
+          f"{model.dataset_runtime_s(workload):.2f} s")
+    return 0
+
+
+_COMMANDS = {
+    "construct": cmd_construct,
+    "index": cmd_index,
+    "map": cmd_map,
+    "stats": cmd_stats,
+    "model": cmd_model,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

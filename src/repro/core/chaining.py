@@ -1,0 +1,155 @@
+"""Optional seed chaining (pipeline step 2 of paper Fig. 2).
+
+The mapping pipeline has an *optional* filtering/chaining/clustering
+step between seeding and alignment.  MinSeed deliberately omits it
+(Section 11.4) — BitAlign is cheap enough to align every seed region —
+but the paper discusses chaining at length: GraphAligner reduces 77 M
+seeds to 48 k extensions with it, and Section 3.2 explains why classic
+chaining "cannot be used directly for a genome graph because there can
+be multiple paths connecting two seeds".
+
+This module implements the practical middle ground the software tools
+use: *colinear chaining in the linearized coordinate space* of the
+topologically sorted graph.  Node offsets give every seed an
+approximately linear position; seeds that are consistent in both read
+order and graph order, with bounded gap skew, chain together.  It is a
+heuristic on graphs (exactly the caveat from Section 3.2 — a chain's
+seeds are only guaranteed connectable through the backbone-ish
+coordinate, not through every path), which is why it is opt-in:
+``SeGraMConfig(chaining=True)``.
+
+The ablation benchmark quantifies the trade the paper describes:
+chaining slashes the number of alignments at a small sensitivity risk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.minseed import Seed, SeedRegion
+
+
+@dataclass(frozen=True)
+class Chain:
+    """A colinear chain of seeds.
+
+    Attributes:
+        seeds: member seeds ordered by read position.
+        score: chaining score (anchored bases minus gap penalties).
+    """
+
+    seeds: tuple[Seed, ...]
+    score: float
+
+    @property
+    def read_start(self) -> int:
+        return self.seeds[0].read_start
+
+    @property
+    def read_end(self) -> int:
+        return self.seeds[-1].read_end
+
+    @property
+    def graph_start(self) -> int:
+        return self.seeds[0].graph_start
+
+    @property
+    def graph_end(self) -> int:
+        return self.seeds[-1].graph_end
+
+
+def chain_seeds(
+    seeds: Sequence[Seed],
+    max_gap: int = 5_000,
+    max_skew: float = 0.3,
+    min_chain_seeds: int = 1,
+) -> list[Chain]:
+    """Chain seeds colinear in read and linearized-graph coordinates.
+
+    Classic O(n^2) anchor chaining (minimap2-style, simplified): seed
+    ``j`` can precede seed ``i`` when both coordinates advance, neither
+    gap exceeds ``max_gap``, and the two gaps agree within
+    ``max_skew`` (relative difference), which is what tolerating
+    ``error_rate``-scale indels requires.  Returns chains sorted by
+    descending score; every seed belongs to exactly one reported chain
+    (best-scoring chains claim their seeds first).
+    """
+    if max_gap < 1:
+        raise ValueError("max_gap must be >= 1")
+    if not 0.0 <= max_skew <= 1.0:
+        raise ValueError("max_skew must be in [0, 1]")
+    if not seeds:
+        return []
+    ordered = sorted(seeds,
+                     key=lambda s: (s.graph_start, s.read_start))
+    n = len(ordered)
+    kmer = ordered[0].read_end - ordered[0].read_start + 1
+    score = [float(kmer)] * n
+    parent = [-1] * n
+    for i in range(n):
+        si = ordered[i]
+        for j in range(i - 1, -1, -1):
+            sj = ordered[j]
+            graph_gap = si.graph_start - sj.graph_end - 1
+            read_gap = si.read_start - sj.read_end - 1
+            if graph_gap < 0 or read_gap < 0:
+                continue
+            if graph_gap > max_gap or read_gap > max_gap:
+                continue
+            larger = max(graph_gap, read_gap, 1)
+            if abs(graph_gap - read_gap) / larger > max_skew \
+                    and abs(graph_gap - read_gap) > 32:
+                continue
+            gap_cost = 0.01 * abs(graph_gap - read_gap)
+            candidate = score[j] + kmer - gap_cost
+            if candidate > score[i]:
+                score[i] = candidate
+                parent[i] = j
+    # Extract chains greedily from the best end anchor downward.
+    order = sorted(range(n), key=lambda i: score[i], reverse=True)
+    claimed = [False] * n
+    chains: list[Chain] = []
+    for end in order:
+        if claimed[end]:
+            continue
+        members = []
+        cursor = end
+        while cursor != -1 and not claimed[cursor]:
+            claimed[cursor] = True
+            members.append(ordered[cursor])
+            cursor = parent[cursor]
+        members.reverse()
+        if len(members) >= min_chain_seeds:
+            chains.append(Chain(seeds=tuple(members), score=score[end]))
+    chains.sort(key=lambda c: c.score, reverse=True)
+    return chains
+
+
+def chains_to_regions(
+    chains: Sequence[Chain],
+    read_length: int,
+    error_rate: float,
+    total_chars: int,
+    top_n: int | None = None,
+) -> list[SeedRegion]:
+    """Convert the best chains into alignment regions.
+
+    Each chain yields one region spanning its seeds plus the Fig. 9
+    left/right extensions computed from the chain's terminal seeds —
+    one BitAlign invocation instead of one per seed.
+    """
+    regions: list[SeedRegion] = []
+    selected = chains if top_n is None else chains[:top_n]
+    for chain in selected:
+        first, last = chain.seeds[0], chain.seeds[-1]
+        m = read_length
+        x = int(first.graph_start - first.read_start * (1 + error_rate))
+        y = int(last.graph_end
+                + (m - last.read_end - 1) * (1 + error_rate))
+        start = max(0, x)
+        end = min(total_chars, y + 1)
+        if end <= start:
+            continue
+        regions.append(SeedRegion(seed=first, start=start, end=end))
+    return regions

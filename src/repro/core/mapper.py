@@ -1,0 +1,273 @@
+"""SeGraM: the end-to-end universal mapper (paper Sections 4 and 9).
+
+A :class:`SeGraM` instance couples MinSeed (seeding) with BitAlign
+(windowed alignment) over one genome graph, supporting all three use
+cases of Section 9:
+
+* **end-to-end sequence-to-graph mapping** — construct from a
+  reference plus variants (:meth:`SeGraM.from_reference`);
+* **sequence-to-sequence mapping** — construct from a linear reference
+  with no variants; the graph degenerates to a chain and the identical
+  machinery runs (S2S is "a special and simpler variant" of S2G);
+* **standalone seeding / alignment** — the underlying
+  :class:`~repro.core.minseed.MinSeed` and
+  :class:`~repro.core.windows.WindowedAligner` objects are exposed as
+  attributes.
+
+For every candidate region produced by MinSeed, the mapper extracts
+the subgraph, linearizes it (optionally with the hardware's hop
+limit), aligns the read with windowed BitAlign, and keeps the best
+alignment by edit distance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro import seq as seqmod
+from repro.core.minseed import MinSeed, SeedingStats
+from repro.core.windows import WindowedAligner, WindowingConfig
+from repro.core.alignment import Cigar
+from repro.graph.builder import BuiltGraph, Variant, build_graph
+from repro.graph.genome_graph import GenomeGraph, GraphError
+from repro.graph.linearize import linearize
+from repro.index.hash_index import HashTableIndex, build_index
+from repro.index.occurrence import DEFAULT_TOP_FRACTION
+
+
+@dataclass(frozen=True)
+class SeGraMConfig:
+    """End-to-end mapper configuration.
+
+    Attributes:
+        w, k: minimizer window and k-mer length (Section 6).
+        bucket_bits: hash-index bucket width (2^24 in the paper for the
+            human genome; smaller for scaled-down graphs).
+        error_rate: expected read error rate ``E`` for seed extension.
+        freq_top_fraction: fraction of most-frequent minimizers to
+            discard (paper: 0.02 %).
+        windowing: BitAlign windowing parameters.
+        hop_limit: hardware hop-queue depth (12 in the paper); None
+            aligns exactly with unlimited hops.
+        max_seeds_per_read: optional cap on candidate regions aligned
+            per read (the paper aligns all; benchmarks use a cap to
+            bound pure-Python runtime — always stated where used).
+        early_exit_distance: stop trying further regions once an
+            alignment at or below this distance is found (None = try
+            all regions, the paper's behaviour).
+        both_strands: also map the reverse-complemented read and keep
+            the better orientation.
+        chaining: enable the optional colinear-chaining filter
+            (pipeline step 2 of paper Fig. 2).  Off by default —
+            MinSeed's design point aligns every seed (Section 11.4).
+    """
+
+    w: int = 10
+    k: int = 15
+    bucket_bits: int = 14
+    error_rate: float = 0.10
+    freq_top_fraction: float = DEFAULT_TOP_FRACTION
+    windowing: WindowingConfig = field(default_factory=WindowingConfig)
+    hop_limit: int | None = None
+    max_seeds_per_read: int | None = None
+    early_exit_distance: int | None = None
+    both_strands: bool = False
+    chaining: bool = False
+
+
+@dataclass
+class MappingResult:
+    """The outcome of mapping one read.
+
+    Attributes:
+        read_name: identifier of the read.
+        read_length: length of the read.
+        mapped: whether any candidate region produced an alignment.
+        distance: edit distance of the best alignment (None if
+            unmapped).
+        cigar: CIGAR of the best alignment (None if unmapped).
+        node_id / node_offset: graph position of the first consumed
+            reference character.
+        path_nodes: distinct graph node IDs visited, in order.
+        linear_position: projection onto the linear reference when the
+            mapper was built from one (for accuracy evaluation).
+        strand: '+' or '-' (reverse-complement mapping).
+        seeding: MinSeed statistics for this read.
+        regions_aligned: candidate regions BitAlign actually processed.
+        windows / rescues: windowed-alignment counters summed over the
+            best alignment.
+    """
+
+    read_name: str
+    read_length: int
+    mapped: bool
+    distance: int | None = None
+    cigar: Cigar | None = None
+    node_id: int | None = None
+    node_offset: int | None = None
+    path_nodes: tuple[int, ...] = ()
+    linear_position: int | None = None
+    strand: str = "+"
+    seeding: SeedingStats = field(default_factory=SeedingStats)
+    regions_aligned: int = 0
+    windows: int = 0
+    rescues: int = 0
+
+    @property
+    def identity(self) -> float | None:
+        """Fraction of read bases matching the reference (None if
+        unmapped)."""
+        if not self.mapped or self.cigar is None:
+            return None
+        return self.cigar.matches / self.read_length
+
+
+class SeGraM:
+    """Universal sequence-to-graph / sequence-to-sequence mapper."""
+
+    def __init__(
+        self,
+        graph: GenomeGraph,
+        config: SeGraMConfig | None = None,
+        built: BuiltGraph | None = None,
+        index: HashTableIndex | None = None,
+    ) -> None:
+        if not graph.is_topologically_sorted():
+            raise GraphError(
+                "SeGraM requires a topologically sorted graph "
+                "(pre-processing step of Section 5)"
+            )
+        self.graph = graph
+        self.config = config or SeGraMConfig()
+        self.built = built
+        self.index = index if index is not None else build_index(
+            graph, w=self.config.w, k=self.config.k,
+            bucket_bits=self.config.bucket_bits,
+        )
+        self.minseed = MinSeed(
+            graph, self.index,
+            error_rate=self.config.error_rate,
+            freq_top_fraction=self.config.freq_top_fraction,
+        )
+        self.aligner = WindowedAligner(self.config.windowing)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_reference(
+        cls,
+        reference: str,
+        variants: Iterable[Variant] = (),
+        config: SeGraMConfig | None = None,
+        name: str = "reference",
+        max_node_length: int = 0,
+    ) -> "SeGraM":
+        """Build the graph from a linear reference plus variants.
+
+        With no variants this constructs the chain graph and the mapper
+        performs classical sequence-to-sequence mapping.
+        """
+        built = build_graph(reference, variants, name=name,
+                            max_node_length=max_node_length)
+        return cls(built.graph, config=config, built=built)
+
+    # ------------------------------------------------------------------
+    # Mapping
+    # ------------------------------------------------------------------
+
+    def map_read(self, read: str, name: str = "read") -> MappingResult:
+        """Map one read; returns the best alignment over all regions."""
+        read = seqmod.validate(read, "read")
+        forward = self._map_oriented(read, name, "+")
+        if not self.config.both_strands:
+            return forward
+        reverse = self._map_oriented(
+            seqmod.reverse_complement(read), name, "-",
+        )
+        if not reverse.mapped:
+            return forward
+        if not forward.mapped or (reverse.distance or 0) < \
+                (forward.distance if forward.distance is not None
+                 else len(read) + 1):
+            return reverse
+        return forward
+
+    def map_reads(self, reads: Iterable[tuple[str, str]]) \
+            -> list[MappingResult]:
+        """Map (name, sequence) pairs; returns one result per read."""
+        return [self.map_read(sequence, name) for name, sequence in reads]
+
+    def _map_oriented(self, read: str, name: str,
+                      strand: str) -> MappingResult:
+        regions, stats = self.minseed.seed(read)
+        if self.config.chaining and regions:
+            from repro.core.chaining import chain_seeds, \
+                chains_to_regions
+            chains = chain_seeds([r.seed for r in regions])
+            regions = chains_to_regions(
+                chains, read_length=len(read),
+                error_rate=self.config.error_rate,
+                total_chars=self.graph.total_sequence_length,
+                top_n=self.config.max_seeds_per_read,
+            )
+        # Rarest minimizers are the most locus-specific: try their
+        # regions first so an optional per-read cap and the early-exit
+        # knob both see the likeliest candidates early.
+        regions.sort(key=lambda r: (r.seed.frequency, r.seed.read_start))
+        if self.config.max_seeds_per_read is not None:
+            regions = regions[:self.config.max_seeds_per_read]
+        result = MappingResult(
+            read_name=name, read_length=len(read), mapped=False,
+            strand=strand, seeding=stats,
+        )
+        best_distance: int | None = None
+        for region in regions:
+            subgraph, original_ids = self.graph.extract_region(
+                region.start, region.end,
+            )
+            lin = linearize(subgraph, hop_limit=self.config.hop_limit)
+            # The seed is an exact match: anchor the windowed aligner
+            # at its position (paper Fig. 9's left/right extensions).
+            local_node = original_ids.index(region.seed.node_id)
+            anchor_pos = subgraph.offsets()[local_node] \
+                + region.seed.node_offset
+            aligned = self.aligner.align(
+                lin, read, anchor=(anchor_pos, region.seed.read_start),
+            )
+            result.regions_aligned += 1
+            if best_distance is None or aligned.distance < best_distance:
+                best_distance = aligned.distance
+                result.mapped = True
+                result.distance = aligned.distance
+                result.cigar = aligned.cigar
+                result.windows = aligned.windows
+                result.rescues = aligned.rescues
+                if aligned.path:
+                    first = aligned.path[0]
+                    local_node = lin.node_ids[first]
+                    result.node_id = original_ids[local_node]
+                    result.node_offset = lin.node_offsets[first]
+                    path_nodes: list[int] = []
+                    for position in aligned.path:
+                        node = original_ids[lin.node_ids[position]]
+                        if not path_nodes or path_nodes[-1] != node:
+                            path_nodes.append(node)
+                    result.path_nodes = tuple(path_nodes)
+                    if self.built is not None:
+                        result.linear_position = \
+                            self.built.project_to_reference(
+                                result.node_id, result.node_offset,
+                            )
+                else:
+                    result.node_id = None
+                    result.node_offset = None
+                    result.path_nodes = ()
+                    result.linear_position = None
+            if (self.config.early_exit_distance is not None
+                    and best_distance is not None
+                    and best_distance <= self.config.early_exit_distance):
+                break
+        return result

@@ -1,0 +1,61 @@
+"""Plain-text rendering of experiment results.
+
+The benchmarks print the same rows/series the paper's tables and
+figures report; this module keeps the formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render rows of dicts as an aligned text table."""
+    if not rows:
+        return (title + "\n(no rows)\n") if title else "(no rows)\n"
+    if columns is None:
+        columns = list(rows[0].keys())
+    widths = {c: len(str(c)) for c in columns}
+    for row in rows:
+        for column in columns:
+            widths[column] = max(widths[column],
+                                 len(_cell(row.get(column))))
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(c).ljust(widths[c]) for c in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append("  ".join(
+            _cell(row.get(c)).ljust(widths[c]) for c in columns
+        ))
+    return "\n".join(lines) + "\n"
+
+
+def _cell(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    if isinstance(value, int) and abs(value) >= 10_000:
+        return f"{value:,}"
+    return str(value)
+
+
+def format_ratio(measured: float, paper: float) -> str:
+    """Render a measured-vs-paper comparison cell."""
+    if paper == 0:
+        return f"{measured:.2f} (paper: 0)"
+    return f"{measured:.2f} (paper: {paper:.2f}, " \
+           f"{measured / paper:.2f}x of paper)"

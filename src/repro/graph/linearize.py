@@ -1,0 +1,258 @@
+"""Character-level linearization of (sub)graphs for BitAlign.
+
+BitAlign operates on a *linearized, topologically sorted* subgraph in
+which every element holds exactly one character (paper Fig. 12 and
+Algorithm 1).  :func:`linearize` expands a multi-character-per-node
+genome graph into that representation:
+
+* characters appear in node-ID order (a topological order of the graph),
+  characters within a node in sequence order;
+* each character's successors are the next character of its node, or —
+  for a node's last character — the first characters of the node's
+  graph successors (*hops*);
+* the hop distance of a successor is its linearized-position delta; the
+  hardware's hop queue registers bound this distance (the *hop limit*,
+  12 in the paper, covering >99 % of hops — Fig. 13).
+
+The module also computes hop-length statistics for whole graphs, which
+the Fig. 13 benchmark sweeps.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.graph.genome_graph import GenomeGraph, GraphError
+
+
+@dataclass
+class LinearizedGraph:
+    """A character-level linearized subgraph.
+
+    Attributes:
+        chars: the concatenated node sequences in topological order.
+        successors: per character position, ascending linearized
+            positions of successor characters.  Within-node successors
+            always have distance 1; inter-node hops may be longer.
+        node_ids: per character position, the owning graph node ID.
+        node_offsets: per character position, the offset within its node.
+        total_hops: inter-node hops encountered during linearization
+            (before any hop-limit truncation).
+        dropped_hops: hops discarded because they exceeded the hop limit.
+        hop_limit: the limit applied (None = unlimited / exact).
+    """
+
+    chars: str
+    successors: list[tuple[int, ...]]
+    node_ids: list[int]
+    node_offsets: list[int]
+    total_hops: int = 0
+    dropped_hops: int = 0
+    hop_limit: int | None = None
+
+    def __len__(self) -> int:
+        return len(self.chars)
+
+    @property
+    def hop_coverage(self) -> float:
+        """Fraction of inter-node hops preserved under the hop limit."""
+        if self.total_hops == 0:
+            return 1.0
+        return 1.0 - self.dropped_hops / self.total_hops
+
+    def slice(self, start: int, end: int) -> "LinearizedGraph":
+        """Clip to linearized positions ``[start, end)``.
+
+        Successor positions outside the window are dropped (and counted
+        as dropped hops); this is what the divide-and-conquer windowing
+        of BitAlign does when it cuts the linearized subgraph into
+        overlapping windows (paper Section 7).
+        """
+        if not 0 <= start < end <= len(self.chars):
+            raise GraphError(
+                f"invalid slice [{start}, {end}) of length {len(self.chars)}"
+            )
+        dropped = 0
+        total = 0
+        new_successors: list[tuple[int, ...]] = []
+        for position in range(start, end):
+            kept = []
+            for succ in self.successors[position]:
+                if succ - position > 1:
+                    total += 1
+                if succ < end:
+                    kept.append(succ - start)
+                elif succ - position > 1:
+                    dropped += 1
+            new_successors.append(tuple(kept))
+        return LinearizedGraph(
+            chars=self.chars[start:end],
+            successors=new_successors,
+            node_ids=self.node_ids[start:end],
+            node_offsets=self.node_offsets[start:end],
+            total_hops=total,
+            dropped_hops=dropped,
+            hop_limit=self.hop_limit,
+        )
+
+    def hopbits(self, max_size: int = 4096) -> np.ndarray:
+        """Materialize the HopBits adjacency matrix (paper Fig. 12).
+
+        ``hopbits[x, y]`` is True when there is an edge from linearized
+        position x to position y.  Quadratic in size, so guarded by
+        ``max_size`` — the hardware only ever builds this for one
+        subgraph window at a time.
+        """
+        n = len(self.chars)
+        if n > max_size:
+            raise GraphError(
+                f"refusing to materialize {n}x{n} HopBits matrix "
+                f"(max_size={max_size})"
+            )
+        bits = np.zeros((n, n), dtype=bool)
+        for position, succs in enumerate(self.successors):
+            for succ in succs:
+                bits[position, succ] = True
+        return bits
+
+    def is_chain(self) -> bool:
+        """True when the linearization is a plain linear sequence."""
+        return all(
+            succs == (position + 1,)
+            for position, succs in enumerate(self.successors[:-1])
+        ) and (not self.successors or self.successors[-1] == ())
+
+    def reversed(self) -> "LinearizedGraph":
+        """The edge-reversed view: successors become predecessors.
+
+        Position ``p`` maps to ``len - 1 - p``; an edge (u, v) becomes
+        (len-1-v, len-1-u), which stays forward-directed, so the view
+        is again a valid topologically-ordered linearization.  The
+        windowed aligner uses this for *left extension* from a seed:
+        aligning the reversed read prefix forward on the reversed graph
+        is exactly aligning the prefix backward on the original.
+        """
+        n = len(self.chars)
+        rev_successors: list[list[int]] = [[] for _ in range(n)]
+        for position, succs in enumerate(self.successors):
+            for succ in succs:
+                rev_successors[n - 1 - succ].append(n - 1 - position)
+        return LinearizedGraph(
+            chars=self.chars[::-1],
+            successors=[tuple(sorted(s)) for s in rev_successors],
+            node_ids=list(reversed(self.node_ids)),
+            node_offsets=list(reversed(self.node_offsets)),
+            total_hops=self.total_hops,
+            dropped_hops=self.dropped_hops,
+            hop_limit=self.hop_limit,
+        )
+
+
+def linearize(graph: GenomeGraph,
+              hop_limit: int | None = None) -> LinearizedGraph:
+    """Linearize a topologically sorted graph to character level.
+
+    Args:
+        graph: a topologically sorted genome graph (every edge from a
+            lower to a higher node ID).  Raises :class:`GraphError`
+            otherwise, because linearized successor positions must all
+            point forward.
+        hop_limit: optional maximum successor distance (in linearized
+            characters).  Hops longer than this are dropped, exactly as
+            the hardware's bounded hop queue does; ``None`` keeps all
+            hops (exact alignment).
+    """
+    if not graph.is_topologically_sorted():
+        raise GraphError(
+            "linearize requires a topologically sorted graph; call "
+            "topologically_sorted() first"
+        )
+    if hop_limit is not None and hop_limit < 1:
+        raise GraphError(f"hop_limit must be >= 1, got {hop_limit}")
+
+    offsets = graph.offsets()
+    chars: list[str] = []
+    successors: list[tuple[int, ...]] = []
+    node_ids: list[int] = []
+    node_offsets: list[int] = []
+    total_hops = 0
+    dropped_hops = 0
+
+    for node in graph.nodes():
+        start = offsets[node.node_id]
+        length = len(node.sequence)
+        chars.append(node.sequence)
+        for local in range(length):
+            position = start + local
+            node_ids.append(node.node_id)
+            node_offsets.append(local)
+            if local < length - 1:
+                successors.append((position + 1,))
+                continue
+            hop_targets = []
+            for succ_node in graph.successors(node.node_id):
+                target = offsets[succ_node]
+                distance = target - position
+                if distance > 1:
+                    total_hops += 1
+                if hop_limit is not None and distance > hop_limit:
+                    dropped_hops += 1
+                    continue
+                hop_targets.append(target)
+            successors.append(tuple(sorted(hop_targets)))
+
+    return LinearizedGraph(
+        chars="".join(chars),
+        successors=successors,
+        node_ids=node_ids,
+        node_offsets=node_offsets,
+        total_hops=total_hops,
+        dropped_hops=dropped_hops,
+        hop_limit=hop_limit,
+    )
+
+
+def hop_length_distribution(graph: GenomeGraph) -> Counter:
+    """Histogram of inter-node hop distances for a whole graph.
+
+    The distance of an edge (u, v) is measured between the linearized
+    position of u's last character and v's first character — the number
+    of hop-queue slots the hardware needs to serve that edge.  Distance
+    1 (adjacent characters) is *not* a hop and is excluded.
+    """
+    if not graph.is_topologically_sorted():
+        raise GraphError("hop statistics require a topologically sorted "
+                         "graph")
+    offsets = graph.offsets()
+    histogram: Counter = Counter()
+    for src, dst in graph.edges():
+        src_last = offsets[src] + len(graph.sequence_of(src)) - 1
+        distance = offsets[dst] - src_last
+        if distance > 1:
+            histogram[distance] += 1
+    return histogram
+
+
+def hop_coverage(graph: GenomeGraph,
+                 limits: Sequence[int]) -> dict[int, float]:
+    """Fraction of hops covered at each hop limit (paper Fig. 13).
+
+    Returns ``{limit: fraction}`` where fraction is the share of
+    inter-node hops whose distance is <= limit.  With no hops at all the
+    coverage is 1.0 by definition (a linear genome).
+    """
+    histogram = hop_length_distribution(graph)
+    total = sum(histogram.values())
+    coverage: dict[int, float] = {}
+    for limit in limits:
+        if total == 0:
+            coverage[limit] = 1.0
+        else:
+            covered = sum(count for distance, count in histogram.items()
+                          if distance <= limit)
+            coverage[limit] = covered / total
+    return coverage

@@ -1,0 +1,205 @@
+"""Area and power block model — reproduces Table 1 of the paper.
+
+The paper synthesizes SeGraM at 28 nm / 1 GHz and reports, per
+accelerator, 0.867 mm2 and 758 mW; for the 32-accelerator system,
+27.7 mm2 and 24.3 W, rising to 28.1 W with HBM dynamic power.  It also
+states the two dominant contributors: the hop queue registers (>60 %
+of BitAlign's edit-distance-calculation logic) and the bitvector
+scratchpads (Section 11.1).
+
+This model composes those totals from per-block unit costs:
+
+* flip-flop-based hop queue registers (area/power per bit),
+* PE datapath logic (per PE),
+* SRAM scratchpads (per kB, same unit cost for all five scratchpads),
+* MinSeed and traceback logic blocks,
+* an integration factor (clock tree, wiring, glue) calibrated so the
+  *default* configuration reproduces the published totals exactly.
+
+Because every block scales with its configuration parameter (PE count,
+queue depth, scratchpad bytes), the ablation benchmarks get consistent
+area/power movement when they sweep the design space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hw.config import SeGraMSystemConfig
+
+#: Published Table 1 totals used for calibration.
+PAPER_ACCELERATOR_AREA_MM2 = 0.867
+PAPER_ACCELERATOR_POWER_MW = 758.0
+PAPER_SYSTEM_POWER_WITH_HBM_W = 28.1
+
+#: Unit costs (28 nm class).  Hop queues are flip-flop arrays — an
+#: order of magnitude less dense than SRAM, which is exactly why the
+#: paper calls them out as the area/power hot spot.
+FLOP_AREA_UM2_PER_BIT = 4.0
+FLOP_POWER_UW_PER_BIT = 3.4
+SRAM_AREA_MM2_PER_KB = 0.0011
+SRAM_POWER_MW_PER_KB = 1.2
+PE_LOGIC_AREA_UM2 = 2_350.0
+PE_LOGIC_POWER_MW = 2.0
+TRACEBACK_AREA_MM2 = 0.02
+TRACEBACK_POWER_MW = 15.0
+MINSEED_LOGIC_AREA_MM2 = 0.01
+MINSEED_LOGIC_POWER_MW = 10.0
+
+#: HBM dynamic power per stack (28.1 W - 24.3 W over 4 stacks).
+HBM_DYNAMIC_POWER_W_PER_STACK = 0.95
+
+
+@dataclass(frozen=True)
+class BlockBudget:
+    """Area/power budget of one hardware block of one accelerator."""
+
+    name: str
+    area_mm2: float
+    power_mw: float
+
+
+def _raw_blocks(system: SeGraMSystemConfig) -> list[BlockBudget]:
+    ba = system.bitalign
+    ms = system.minseed
+    hop_queue_bits = ba.total_hop_queue_bytes * 8
+    minseed_sram_kb = (
+        ms.read_scratchpad_bytes + ms.minimizer_scratchpad_bytes
+        + ms.seed_scratchpad_bytes
+    ) / 1024.0
+    input_sram_kb = ba.input_scratchpad_bytes / 1024.0
+    bitvector_sram_kb = ba.total_bitvector_scratchpad_bytes / 1024.0
+    return [
+        BlockBudget(
+            "MinSeed logic",
+            MINSEED_LOGIC_AREA_MM2,
+            MINSEED_LOGIC_POWER_MW,
+        ),
+        BlockBudget(
+            "MinSeed scratchpads",
+            minseed_sram_kb * SRAM_AREA_MM2_PER_KB,
+            minseed_sram_kb * SRAM_POWER_MW_PER_KB,
+        ),
+        BlockBudget(
+            "BitAlign PE datapaths",
+            ba.pe_count * PE_LOGIC_AREA_UM2 / 1e6,
+            ba.pe_count * PE_LOGIC_POWER_MW,
+        ),
+        BlockBudget(
+            "BitAlign hop queue registers",
+            hop_queue_bits * FLOP_AREA_UM2_PER_BIT / 1e6,
+            hop_queue_bits * FLOP_POWER_UW_PER_BIT / 1e3,
+        ),
+        BlockBudget(
+            "BitAlign traceback logic",
+            TRACEBACK_AREA_MM2,
+            TRACEBACK_POWER_MW,
+        ),
+        BlockBudget(
+            "BitAlign input scratchpad",
+            input_sram_kb * SRAM_AREA_MM2_PER_KB,
+            input_sram_kb * SRAM_POWER_MW_PER_KB,
+        ),
+        BlockBudget(
+            "BitAlign bitvector scratchpads",
+            bitvector_sram_kb * SRAM_AREA_MM2_PER_KB,
+            bitvector_sram_kb * SRAM_POWER_MW_PER_KB,
+        ),
+    ]
+
+
+def _calibration_factors() -> tuple[float, float]:
+    """Integration factors making the default config hit Table 1."""
+    default_blocks = _raw_blocks(SeGraMSystemConfig())
+    raw_area = sum(b.area_mm2 for b in default_blocks)
+    raw_power = sum(b.power_mw for b in default_blocks)
+    return (PAPER_ACCELERATOR_AREA_MM2 / raw_area,
+            PAPER_ACCELERATOR_POWER_MW / raw_power)
+
+
+_AREA_FACTOR, _POWER_FACTOR = _calibration_factors()
+
+
+@dataclass(frozen=True)
+class AreaPowerModel:
+    """Table 1 reproduction for an arbitrary system configuration."""
+
+    system: SeGraMSystemConfig = field(
+        default_factory=SeGraMSystemConfig)
+
+    def accelerator_blocks(self) -> list[BlockBudget]:
+        """Per-block budgets of one accelerator, integration included."""
+        return [
+            BlockBudget(b.name, b.area_mm2 * _AREA_FACTOR,
+                        b.power_mw * _POWER_FACTOR)
+            for b in _raw_blocks(self.system)
+        ]
+
+    @property
+    def accelerator_area_mm2(self) -> float:
+        """One MinSeed+BitAlign pair (paper: 0.867 mm2)."""
+        return sum(b.area_mm2 for b in self.accelerator_blocks())
+
+    @property
+    def accelerator_power_mw(self) -> float:
+        """One MinSeed+BitAlign pair (paper: 758 mW)."""
+        return sum(b.power_mw for b in self.accelerator_blocks())
+
+    @property
+    def system_area_mm2(self) -> float:
+        """All accelerators (paper: 27.7 mm2 for 32)."""
+        return self.accelerator_area_mm2 * self.system.total_accelerators
+
+    @property
+    def system_power_w(self) -> float:
+        """All accelerators, logic + scratchpads (paper: 24.3 W)."""
+        return self.accelerator_power_mw \
+            * self.system.total_accelerators / 1e3
+
+    @property
+    def hbm_power_w(self) -> float:
+        """Dynamic HBM power across the stacks (paper: ~3.8 W)."""
+        return HBM_DYNAMIC_POWER_W_PER_STACK * self.system.stacks
+
+    @property
+    def system_power_with_hbm_w(self) -> float:
+        """Total system power (paper: 28.1 W)."""
+        return self.system_power_w + self.hbm_power_w
+
+    def hop_queue_share_of_edit_logic(self) -> tuple[float, float]:
+        """(area share, power share) of hop queues within BitAlign's
+        edit-distance-calculation logic — the paper states >60 %."""
+        blocks = {b.name: b for b in self.accelerator_blocks()}
+        queues = blocks["BitAlign hop queue registers"]
+        pes = blocks["BitAlign PE datapaths"]
+        area = queues.area_mm2 / (queues.area_mm2 + pes.area_mm2)
+        power = queues.power_mw / (queues.power_mw + pes.power_mw)
+        return area, power
+
+    def table1_rows(self) -> list[dict]:
+        """Rows for the Table 1 benchmark: block, area, power."""
+        rows = [
+            {
+                "block": b.name,
+                "area_mm2": round(b.area_mm2, 4),
+                "power_mw": round(b.power_mw, 1),
+            }
+            for b in self.accelerator_blocks()
+        ]
+        rows.append({
+            "block": "Total (1 accelerator)",
+            "area_mm2": round(self.accelerator_area_mm2, 3),
+            "power_mw": round(self.accelerator_power_mw, 1),
+        })
+        rows.append({
+            "block": f"Total ({self.system.total_accelerators} "
+                     "accelerators)",
+            "area_mm2": round(self.system_area_mm2, 1),
+            "power_mw": round(self.system_power_w * 1e3, 0),
+        })
+        rows.append({
+            "block": "Total + HBM",
+            "area_mm2": round(self.system_area_mm2, 1),
+            "power_mw": round(self.system_power_with_hbm_w * 1e3, 0),
+        })
+        return rows

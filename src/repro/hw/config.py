@@ -1,0 +1,140 @@
+"""Hardware configuration of the SeGraM accelerator (paper Section 8).
+
+All sizes below are the paper's published design points; every field is
+overridable so the ablation benchmarks can sweep PE count, bitvector
+width, hop-queue depth and scratchpad capacities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class MinSeedUnitConfig:
+    """The MinSeed accelerator (paper Section 8.1).
+
+    Scratchpads are double-buffered: each stated capacity holds *two*
+    entries of its kind (two reads, two reads' minimizers, two
+    minimizers' seeds) so the next item streams in while the current
+    one is processed.
+    """
+
+    read_scratchpad_bytes: int = 6 * 1024
+    minimizer_scratchpad_bytes: int = 40 * 1024
+    seed_scratchpad_bytes: int = 4 * 1024
+    #: Maximum read length the read scratchpad supports (2 reads of
+    #: 10 kbp at 2 bits per character fit in 6 kB).
+    max_read_length: int = 10_000
+    #: Maximum minimizers per read (2 x 2050 entries of 10 B = 40 kB).
+    max_minimizers_per_read: int = 2_050
+    #: Maximum seed locations per minimizer (2 x 242 entries of 8 B).
+    max_seeds_per_minimizer: int = 242
+
+    def validate(self) -> None:
+        """Check the scratchpad capacities against the stated limits.
+
+        A 1 % slack absorbs the paper's own rounding: "40 kB" for
+        2 x 2050 minimizers x 10 B = 41,000 B (Section 8.1).
+        """
+        slack = 1.01
+        if 2 * self.max_read_length * 2 // 8 > \
+                self.read_scratchpad_bytes * slack:
+            raise ValueError("read scratchpad too small for double-"
+                             "buffered maximum-length reads")
+        if 2 * self.max_minimizers_per_read * 10 > \
+                self.minimizer_scratchpad_bytes * slack:
+            raise ValueError("minimizer scratchpad too small")
+        if 2 * self.max_seeds_per_minimizer * 8 > \
+                self.seed_scratchpad_bytes * slack:
+            raise ValueError("seed scratchpad too small")
+
+
+@dataclass(frozen=True)
+class BitAlignUnitConfig:
+    """The BitAlign accelerator (paper Section 8.2).
+
+    A linear cyclic systolic array of ``pe_count`` processing elements,
+    each handling ``bits_per_pe``-bit bitvectors (the window width W).
+    Hop queue registers hold the ``hop_queue_depth`` most recent R[d]
+    bitvectors so any hop within that distance is served in one cycle.
+    """
+
+    pe_count: int = 64
+    bits_per_pe: int = 128
+    hop_queue_depth: int = 12
+    window_overlap: int = 48  # 3W/8, see WindowingConfig
+    input_scratchpad_bytes: int = 24 * 1024
+    bitvector_scratchpad_bytes_per_pe: int = 2 * 1024
+    hop_queue_bytes_per_pe: int = 192
+
+    def __post_init__(self) -> None:
+        if self.pe_count < 1:
+            raise ValueError("pe_count must be >= 1")
+        if self.bits_per_pe < 2:
+            raise ValueError("bits_per_pe must be >= 2")
+        if not 0 <= self.window_overlap < self.bits_per_pe:
+            raise ValueError("window_overlap must be < bits_per_pe")
+        if self.hop_queue_depth < 1:
+            raise ValueError("hop_queue_depth must be >= 1")
+
+    @property
+    def bitvector_bytes(self) -> int:
+        """Bytes written per bitvector (128 bits = 16 B in the paper)."""
+        return self.bits_per_pe // 8
+
+    @property
+    def total_bitvector_scratchpad_bytes(self) -> int:
+        return self.bitvector_scratchpad_bytes_per_pe * self.pe_count
+
+    @property
+    def total_hop_queue_bytes(self) -> int:
+        return self.hop_queue_bytes_per_pe * self.pe_count
+
+    @classmethod
+    def genasm(cls) -> "BitAlignUnitConfig":
+        """The GenASM-class configuration the paper compares against:
+        64-bit windows (W=64, overlap 24) with per-PE scratchpads a
+        third the size (GenASM stores 3 intermediate bitvectors per
+        R[d]; BitAlign's store-only-R[d] change is what allowed the
+        width doubling — Section 11.3)."""
+        return cls(
+            pe_count=64,
+            bits_per_pe=64,
+            window_overlap=24,
+            hop_queue_depth=1,
+            bitvector_scratchpad_bytes_per_pe=2 * 1024,
+            hop_queue_bytes_per_pe=0,
+        )
+
+
+@dataclass(frozen=True)
+class SeGraMSystemConfig:
+    """The full SeGraM system (paper Section 8.3, Fig. 14).
+
+    Four SeGraM modules, one per HBM2E stack; eight accelerators per
+    module, one per HBM channel, each an independent MinSeed+BitAlign
+    pair at 1 GHz.
+    """
+
+    minseed: MinSeedUnitConfig = field(default_factory=MinSeedUnitConfig)
+    bitalign: BitAlignUnitConfig = field(
+        default_factory=BitAlignUnitConfig)
+    frequency_ghz: float = 1.0
+    stacks: int = 4
+    accelerators_per_stack: int = 8
+
+    def __post_init__(self) -> None:
+        if self.frequency_ghz <= 0:
+            raise ValueError("frequency_ghz must be positive")
+        if self.stacks < 1 or self.accelerators_per_stack < 1:
+            raise ValueError("need at least one stack and accelerator")
+
+    @property
+    def total_accelerators(self) -> int:
+        """32 in the paper's design point."""
+        return self.stacks * self.accelerators_per_stack
+
+    @property
+    def cycle_time_ns(self) -> float:
+        return 1.0 / self.frequency_ghz

@@ -1,0 +1,74 @@
+"""HBM2E memory model (paper Sections 8.3 and 11.2).
+
+Each SeGraM accelerator owns one HBM2E channel exclusively, which the
+paper leans on for two properties: low-latency random access for the
+seeding lookups, and zero inter-accelerator interference.  The model
+captures a channel as (random-access latency, streaming bandwidth) and
+a stack as eight channels plus a capacity limit.
+
+Default parameters follow JESD235C-class HBM2E devices: 16 GB per
+stack, ~460 GB/s per stack (57.6 GB/s per channel at 3.6 Gbps pins)
+and ~100 ns loaded random-access latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class HbmChannelModel:
+    """One HBM2E pseudo-channel dedicated to one accelerator."""
+
+    bandwidth_gb_per_s: float = 57.6
+    random_access_latency_ns: float = 100.0
+    access_granularity_bytes: int = 32
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gb_per_s <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.random_access_latency_ns < 0:
+            raise ValueError("latency must be non-negative")
+
+    def random_access_ns(self, byte_count: int) -> float:
+        """Latency of one dependent random access of ``byte_count``
+        bytes (a hash-table probe, a node-table entry fetch)."""
+        if byte_count < 0:
+            raise ValueError("byte_count must be non-negative")
+        transfers = max(1, -(-byte_count // self.access_granularity_bytes))
+        burst = transfers * self.access_granularity_bytes
+        return self.random_access_latency_ns + \
+            burst / self.bandwidth_gb_per_s
+
+    def stream_ns(self, byte_count: int) -> float:
+        """Time to stream a contiguous region (subgraph fetch): one
+        access latency plus bandwidth-limited transfer."""
+        if byte_count < 0:
+            raise ValueError("byte_count must be non-negative")
+        return self.random_access_latency_ns + \
+            byte_count / self.bandwidth_gb_per_s
+
+
+@dataclass(frozen=True)
+class HbmStackModel:
+    """One HBM2E stack: eight channels and a capacity limit."""
+
+    channels: int = 8
+    channel: HbmChannelModel = HbmChannelModel()
+    capacity_gb: float = 16.0
+
+    @property
+    def stack_bandwidth_gb_per_s(self) -> float:
+        return self.channels * self.channel.bandwidth_gb_per_s
+
+    def fits(self, resident_bytes: int) -> bool:
+        """Whether the graph + index content fits in one stack.
+
+        The paper's human-genome content is 11.2 GB (1.4 GB graph +
+        9.8 GB index), replicated per stack — within 16 GB.
+        """
+        return resident_bytes <= self.capacity_gb * (1 << 30)
+
+    def utilization(self, resident_bytes: int) -> float:
+        """Fraction of stack capacity used by resident data."""
+        return resident_bytes / (self.capacity_gb * (1 << 30))

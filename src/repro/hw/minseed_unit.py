@@ -1,0 +1,123 @@
+"""MinSeed datapath cycle model (paper Sections 8.1 and 8.3).
+
+MinSeed's computation blocks are simple (comparisons, adds, scratchpad
+reads/writes); its cost is dominated by the memory system: fetching
+minimizer frequencies, seed locations, and candidate subgraphs from
+HBM.  The model charges:
+
+* one pass over the read for minimizer extraction (the single-loop
+  O(m) algorithm processes one character per cycle);
+* one dependent random HBM access per minimizer for the frequency
+  probe (first level + second level of the index);
+* one random access per surviving minimizer's location list (the
+  third level), streaming 8 B per location;
+* one streaming fetch per seed region for the subgraph (node table +
+  character table bytes of the region).
+
+Because SeGraM pipelines MinSeed under BitAlign with double-buffered
+scratchpads (Section 8.3), most of this latency is hidden; the
+pipeline model accounts for the exposed remainder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.config import MinSeedUnitConfig
+from repro.hw.hbm import HbmChannelModel
+
+#: Index entry sizes (paper Section 5 / Fig. 6).
+BUCKET_ENTRY_BYTES = 4
+MINIMIZER_ENTRY_BYTES = 12
+LOCATION_ENTRY_BYTES = 8
+
+#: Graph entry sizes (paper Section 5 / Fig. 5).
+NODE_ENTRY_BYTES = 32
+CHAR_BITS = 2
+
+
+@dataclass(frozen=True)
+class MinSeedCycleModel:
+    """Cycle-level performance model of one MinSeed unit."""
+
+    config: MinSeedUnitConfig = MinSeedUnitConfig()
+    channel: HbmChannelModel = HbmChannelModel()
+    frequency_ghz: float = 1.0
+
+    def _ns_to_cycles(self, ns: float) -> float:
+        return ns * self.frequency_ghz
+
+    def minimizer_extraction_cycles(self, read_length: int) -> int:
+        """The single-loop minimizer scan: one character per cycle."""
+        if read_length < 1:
+            raise ValueError("read_length must be >= 1")
+        return read_length
+
+    def frequency_lookup_cycles(self, minimizer_count: int) -> float:
+        """Frequency probes: one dependent random access per minimizer
+        covering the bucket entry and the second-level scan."""
+        per_probe = self.channel.random_access_ns(
+            BUCKET_ENTRY_BYTES + MINIMIZER_ENTRY_BYTES,
+        )
+        return self._ns_to_cycles(per_probe) * minimizer_count
+
+    def seed_fetch_cycles(self, surviving_minimizers: int,
+                          total_locations: int) -> float:
+        """Third-level fetches: one access per surviving minimizer plus
+        streamed location entries."""
+        if surviving_minimizers == 0:
+            return 0.0
+        stream_bytes = total_locations * LOCATION_ENTRY_BYTES
+        ns = surviving_minimizers * self.channel.random_access_ns(
+            LOCATION_ENTRY_BYTES,
+        ) + stream_bytes / self.channel.bandwidth_gb_per_s
+        return self._ns_to_cycles(ns)
+
+    def subgraph_fetch_cycles(self, region_chars: int,
+                              region_nodes: int) -> float:
+        """Streaming one candidate region's node and character table
+        bytes into BitAlign's input scratchpad."""
+        stream_bytes = region_nodes * NODE_ENTRY_BYTES \
+            + (region_chars * CHAR_BITS + 7) // 8
+        return self._ns_to_cycles(self.channel.stream_ns(stream_bytes))
+
+    def minimizer_batches(self, minimizer_count: int) -> int:
+        """Batches needed when a read's minimizers overflow the
+        scratchpad (paper Section 8.3: "a batch (i.e., a subset) of
+        minimizers is found, stored, and used, and then the next batch
+        will be generated out of the read")."""
+        if minimizer_count < 0:
+            raise ValueError("minimizer_count must be >= 0")
+        capacity = self.config.max_minimizers_per_read
+        return max(1, -(-minimizer_count // capacity))
+
+    def seed_batches(self, locations_per_minimizer: int) -> int:
+        """Batches needed when one minimizer's locations overflow the
+        seed scratchpad (same Section 8.3 optimization)."""
+        if locations_per_minimizer < 0:
+            raise ValueError("locations_per_minimizer must be >= 0")
+        capacity = self.config.max_seeds_per_minimizer
+        return max(1, -(-locations_per_minimizer // capacity))
+
+    def seeding_cycles(
+        self,
+        read_length: int,
+        minimizer_count: int,
+        surviving_minimizers: int,
+        total_locations: int,
+    ) -> float:
+        """Total MinSeed work for one read, excluding subgraph fetches
+        (those are charged per seed task by the pipeline model)."""
+        return (
+            self.minimizer_extraction_cycles(read_length)
+            + self.frequency_lookup_cycles(minimizer_count)
+            + self.seed_fetch_cycles(surviving_minimizers,
+                                     total_locations)
+        )
+
+
+def expected_minimizer_count(read_length: int, w: int) -> float:
+    """Expected minimizers in a read: density 2/(w+1) (Section 6)."""
+    if read_length < 1:
+        raise ValueError("read_length must be >= 1")
+    return 2.0 * read_length / (w + 1)

@@ -1,0 +1,33 @@
+"""Indexing substrate: minimizers and the hash-table-based graph index.
+
+Implements the paper's second pre-processing step (Section 5): the
+three-level hash-table index (buckets -> minimizers -> seed locations,
+Fig. 6) over ``<w,k>``-minimizers of the graph's node sequences, plus
+the per-chromosome occurrence-frequency filter of Section 6.
+"""
+
+from repro.index.minimizer import (
+    Minimizer,
+    brute_force_minimizers,
+    kmer_at,
+    minimizers,
+)
+from repro.index.hash_index import (
+    HashTableIndex,
+    IndexLayout,
+    SeedHit,
+    build_index,
+)
+from repro.index.occurrence import frequency_threshold
+
+__all__ = [
+    "Minimizer",
+    "minimizers",
+    "brute_force_minimizers",
+    "kmer_at",
+    "HashTableIndex",
+    "IndexLayout",
+    "SeedHit",
+    "build_index",
+    "frequency_threshold",
+]

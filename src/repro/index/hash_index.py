@@ -1,0 +1,233 @@
+"""Three-level hash-table index of graph minimizers (paper Fig. 6).
+
+The index maps minimizer hash values to their exact-match locations in
+the graph's nodes.  Its memory layout is three levels:
+
+1. **Buckets** — ``2^bucket_bits`` entries of 4 B each; a minimizer hash
+   is assigned to bucket ``hash & (2^bucket_bits - 1)``.  Each entry
+   stores the start and count of its minimizers in level 2.
+2. **Minimizers** — 12 B per distinct minimizer: the hash value, the
+   start of its locations in level 3, and the location count, sorted by
+   hash within each bucket.
+3. **Seed locations** — 8 B per location: (node ID, offset in node).
+
+The bucket count trades memory footprint against hash collisions
+(minimizers per bucket — more collisions mean more memory lookups per
+query); the paper's Fig. 7 sweeps it and settles on 2^24 for the human
+genome.  :meth:`HashTableIndex.layout` reproduces both curves for any
+bucket width.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.graph.genome_graph import GenomeGraph
+from repro.index.minimizer import Scoring, minimizers
+
+#: Bytes per first-level bucket entry (paper Section 5).
+BUCKET_ENTRY_BYTES = 4
+
+#: Bytes per second-level minimizer entry (paper Section 5).
+MINIMIZER_ENTRY_BYTES = 12
+
+#: Bytes per third-level seed-location entry (paper Section 5).
+LOCATION_ENTRY_BYTES = 8
+
+
+@dataclass(frozen=True, order=True)
+class SeedHit:
+    """One seed location: a node ID and the offset within that node."""
+
+    node_id: int
+    offset: int
+
+
+@dataclass(frozen=True)
+class IndexLayout:
+    """Memory-footprint view of the index at a given bucket width.
+
+    Reproduces the two series of paper Fig. 7: the total footprint and
+    the maximum number of minimizers falling into one bucket.
+    """
+
+    bucket_bits: int
+    distinct_minimizers: int
+    total_locations: int
+    max_minimizers_per_bucket: int
+    max_locations_per_minimizer: int
+
+    @property
+    def bucket_count(self) -> int:
+        return 1 << self.bucket_bits
+
+    @property
+    def first_level_bytes(self) -> int:
+        return self.bucket_count * BUCKET_ENTRY_BYTES
+
+    @property
+    def second_level_bytes(self) -> int:
+        return self.distinct_minimizers * MINIMIZER_ENTRY_BYTES
+
+    @property
+    def third_level_bytes(self) -> int:
+        return self.total_locations * LOCATION_ENTRY_BYTES
+
+    @property
+    def total_bytes(self) -> int:
+        return (self.first_level_bytes + self.second_level_bytes
+                + self.third_level_bytes)
+
+
+@dataclass(frozen=True)
+class LookupCost:
+    """Memory-access accounting for one index query.
+
+    The hardware model charges one main-memory access for the bucket
+    probe, one per minimizer entry scanned within the bucket, and one
+    per seed location fetched (paper Section 8.1's frequency and seed
+    lookups).
+    """
+
+    bucket_probe: int
+    minimizers_scanned: int
+    locations_fetched: int
+
+    @property
+    def total_accesses(self) -> int:
+        return self.bucket_probe + self.minimizers_scanned \
+            + self.locations_fetched
+
+
+class HashTableIndex:
+    """Queryable three-level minimizer index of a genome graph."""
+
+    def __init__(
+        self,
+        catalog: Mapping[int, Sequence[SeedHit]],
+        w: int,
+        k: int,
+        bucket_bits: int,
+        scoring: Scoring = "hash",
+    ) -> None:
+        if bucket_bits < 1:
+            raise ValueError(f"bucket_bits must be >= 1, got {bucket_bits}")
+        self.w = w
+        self.k = k
+        self.bucket_bits = bucket_bits
+        self.scoring = scoring
+        self._catalog: dict[int, tuple[SeedHit, ...]] = {
+            h: tuple(sorted(hits)) for h, hits in catalog.items()
+        }
+        self._buckets: dict[int, list[int]] = {}
+        mask = (1 << bucket_bits) - 1
+        for hash_value in self._catalog:
+            self._buckets.setdefault(hash_value & mask, []).append(hash_value)
+        for bucket in self._buckets.values():
+            bucket.sort()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def frequency(self, hash_value: int) -> int:
+        """Occurrence count of a minimizer (0 when absent).
+
+        This is MinSeed's first memory round trip per minimizer
+        (step 3 in paper Fig. 4): fetch the frequency, then decide
+        whether to fetch the locations at all.
+        """
+        hits = self._catalog.get(hash_value)
+        return len(hits) if hits else 0
+
+    def lookup(self, hash_value: int) -> tuple[SeedHit, ...]:
+        """All seed locations of a minimizer (step 5 in paper Fig. 4)."""
+        return self._catalog.get(hash_value, ())
+
+    def lookup_cost(self, hash_value: int) -> LookupCost:
+        """Memory accesses a hardware query would issue for this hash."""
+        mask = (1 << self.bucket_bits) - 1
+        bucket = self._buckets.get(hash_value & mask, [])
+        # Binary search within the sorted bucket would scan
+        # ceil(log2(n))+1 entries; the paper's design scans linearly, so
+        # we charge the linear scan up to and including the match.
+        scanned = 0
+        for candidate in bucket:
+            scanned += 1
+            if candidate >= hash_value:
+                break
+        hits = self._catalog.get(hash_value, ())
+        return LookupCost(
+            bucket_probe=1,
+            minimizers_scanned=scanned,
+            locations_fetched=len(hits),
+        )
+
+    # ------------------------------------------------------------------
+    # Statistics / layout
+    # ------------------------------------------------------------------
+
+    @property
+    def distinct_minimizers(self) -> int:
+        return len(self._catalog)
+
+    @property
+    def total_locations(self) -> int:
+        return sum(len(hits) for hits in self._catalog.values())
+
+    def frequencies(self) -> list[int]:
+        """Occurrence counts of all distinct minimizers."""
+        return [len(hits) for hits in self._catalog.values()]
+
+    def layout(self, bucket_bits: int | None = None) -> IndexLayout:
+        """Compute the Fig. 7 footprint curves for a bucket width."""
+        bits = self.bucket_bits if bucket_bits is None else bucket_bits
+        if bits < 1:
+            raise ValueError(f"bucket_bits must be >= 1, got {bits}")
+        mask = (1 << bits) - 1
+        per_bucket: dict[int, int] = {}
+        for hash_value in self._catalog:
+            bucket = hash_value & mask
+            per_bucket[bucket] = per_bucket.get(bucket, 0) + 1
+        max_per_bucket = max(per_bucket.values(), default=0)
+        max_locations = max(
+            (len(hits) for hits in self._catalog.values()), default=0,
+        )
+        return IndexLayout(
+            bucket_bits=bits,
+            distinct_minimizers=self.distinct_minimizers,
+            total_locations=self.total_locations,
+            max_minimizers_per_bucket=max_per_bucket,
+            max_locations_per_minimizer=max_locations,
+        )
+
+
+def build_index(
+    graph: GenomeGraph,
+    w: int = 10,
+    k: int = 15,
+    bucket_bits: int = 14,
+    scoring: Scoring = "hash",
+) -> HashTableIndex:
+    """Index the ``<w,k>``-minimizers of every node sequence of a graph.
+
+    Minimizers are computed *within* node sequences (the paper indexes
+    "the minimizers' exact matching locations in the graphs' nodes",
+    Section 5); seeds spanning node boundaries are not indexed, which
+    is why variation-dense regions rely on the alignment step's
+    tolerance.  Nodes shorter than ``k`` contribute no minimizers.
+
+    Defaults follow minimap2's short-read-profile ``<w,k>`` scaled-down
+    bucket width; the paper uses 2^24 buckets for the 3.1 Gbp human
+    genome, and the Fig. 7 benchmark sweeps this parameter.
+    """
+    catalog: dict[int, list[SeedHit]] = {}
+    for node in graph.nodes():
+        for minimizer in minimizers(node.sequence, w=w, k=k, scoring=scoring):
+            catalog.setdefault(minimizer.score, []).append(
+                SeedHit(node_id=node.node_id, offset=minimizer.position)
+            )
+    return HashTableIndex(
+        catalog=catalog, w=w, k=k, bucket_bits=bucket_bits, scoring=scoring,
+    )

@@ -1,0 +1,49 @@
+"""Minimizer occurrence-frequency filtering (paper Section 6).
+
+MinSeed discards a minimizer when its occurrence frequency in the
+reference exceeds a per-chromosome threshold, "pre-computed for each
+chromosome in order to discard the top 0.02 % most frequent
+minimizers".  Highly repetitive minimizers would otherwise flood the
+alignment step with candidate locations.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+#: The paper's default: discard the top 0.02 % most frequent minimizers.
+DEFAULT_TOP_FRACTION = 0.0002
+
+
+def frequency_threshold(
+    frequencies: Sequence[int],
+    top_fraction: float = DEFAULT_TOP_FRACTION,
+) -> int:
+    """Compute the frequency cutoff that discards the top fraction.
+
+    Returns the largest threshold T such that minimizers with frequency
+    strictly greater than T make up at most ``top_fraction`` of all
+    distinct minimizers.  A minimizer is then *kept* iff its frequency
+    is <= T.  With an empty input the threshold is 0 (nothing to keep
+    or discard).
+    """
+    if not 0.0 <= top_fraction < 1.0:
+        raise ValueError(
+            f"top_fraction must be in [0, 1), got {top_fraction}"
+        )
+    if not frequencies:
+        return 0
+    ordered = sorted(frequencies, reverse=True)
+    allowed_discards = int(top_fraction * len(ordered))
+    # ordered[allowed_discards] is the first frequency that must be kept;
+    # everything strictly above it is discarded.
+    return ordered[allowed_discards] if allowed_discards < len(ordered) \
+        else ordered[-1]
+
+
+def discarded_count(
+    frequencies: Sequence[int],
+    threshold: int,
+) -> int:
+    """Number of minimizers a threshold would discard (freq > threshold)."""
+    return sum(1 for f in frequencies if f > threshold)

@@ -1,0 +1,39 @@
+"""File-format substrate: FASTA/FASTQ and VCF-subset readers and writers.
+
+The SeGraM pre-processing pipeline (paper Section 5) consumes a linear
+reference genome as FASTA and known variations as VCF.  These modules
+implement the subset of both formats that the pipeline needs, with no
+third-party dependencies.
+"""
+
+from repro.io.fasta import (
+    FastaRecord,
+    FastqRecord,
+    read_fasta,
+    read_fastq,
+    write_fasta,
+    write_fastq,
+)
+from repro.io.vcf import VcfRecord, read_vcf, write_vcf
+from repro.io.sam import SamRecord, read_sam, result_to_sam, write_sam
+from repro.io.gaf import GafRecord, read_gaf, result_to_gaf, write_gaf
+
+__all__ = [
+    "FastaRecord",
+    "FastqRecord",
+    "read_fasta",
+    "read_fastq",
+    "write_fasta",
+    "write_fastq",
+    "VcfRecord",
+    "read_vcf",
+    "write_vcf",
+    "SamRecord",
+    "read_sam",
+    "result_to_sam",
+    "write_sam",
+    "GafRecord",
+    "read_gaf",
+    "result_to_gaf",
+    "write_gaf",
+]

@@ -1,0 +1,177 @@
+"""Minimal FASTA/FASTQ reading and writing.
+
+Only the features needed by the mapping pipeline are implemented:
+multi-record files, multi-line sequences, and description handling.
+Parsing is strict — malformed records raise :class:`FastaFormatError`
+rather than being silently skipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, TextIO, Union
+
+PathOrHandle = Union[str, Path, TextIO]
+
+
+class FastaFormatError(ValueError):
+    """Raised when a FASTA/FASTQ file violates the format."""
+
+
+@dataclass(frozen=True)
+class FastaRecord:
+    """One FASTA record: an identifier, optional description, sequence."""
+
+    name: str
+    sequence: str
+    description: str = ""
+
+    def __len__(self) -> int:
+        return len(self.sequence)
+
+
+@dataclass(frozen=True)
+class FastqRecord:
+    """One FASTQ record: identifier, sequence and per-base quality string."""
+
+    name: str
+    sequence: str
+    quality: str
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if len(self.sequence) != len(self.quality):
+            raise FastaFormatError(
+                f"record {self.name!r}: sequence length {len(self.sequence)} "
+                f"!= quality length {len(self.quality)}"
+            )
+
+    def __len__(self) -> int:
+        return len(self.sequence)
+
+
+def _open_for_read(source: PathOrHandle):
+    if isinstance(source, (str, Path)):
+        return open(source, "r", encoding="ascii"), True
+    return source, False
+
+
+def _open_for_write(target: PathOrHandle):
+    if isinstance(target, (str, Path)):
+        return open(target, "w", encoding="ascii"), True
+    return target, False
+
+
+def _split_header(line: str) -> tuple[str, str]:
+    body = line[1:].strip()
+    if not body:
+        raise FastaFormatError("record header has no identifier")
+    name, _, description = body.partition(" ")
+    return name, description
+
+
+def iter_fasta(source: PathOrHandle) -> Iterator[FastaRecord]:
+    """Stream FASTA records from a path or open text handle."""
+    handle, owned = _open_for_read(source)
+    try:
+        name: str | None = None
+        description = ""
+        chunks: list[str] = []
+        for raw in handle:
+            line = raw.rstrip("\n")
+            if not line:
+                continue
+            if line.startswith(">"):
+                if name is not None:
+                    yield FastaRecord(name, "".join(chunks), description)
+                name, description = _split_header(line)
+                chunks = []
+            else:
+                if name is None:
+                    raise FastaFormatError(
+                        "sequence data found before any '>' header"
+                    )
+                chunks.append(line.strip())
+        if name is not None:
+            yield FastaRecord(name, "".join(chunks), description)
+    finally:
+        if owned:
+            handle.close()
+
+
+def read_fasta(source: PathOrHandle) -> list[FastaRecord]:
+    """Read all FASTA records from a path or open text handle."""
+    return list(iter_fasta(source))
+
+
+def write_fasta(
+    target: PathOrHandle,
+    records: Iterable[FastaRecord],
+    line_width: int = 70,
+) -> None:
+    """Write FASTA records, wrapping sequences at ``line_width`` columns."""
+    if line_width <= 0:
+        raise ValueError("line_width must be positive")
+    handle, owned = _open_for_write(target)
+    try:
+        for record in records:
+            header = record.name
+            if record.description:
+                header = f"{header} {record.description}"
+            handle.write(f">{header}\n")
+            seq = record.sequence
+            for start in range(0, len(seq), line_width):
+                handle.write(seq[start:start + line_width] + "\n")
+    finally:
+        if owned:
+            handle.close()
+
+
+def iter_fastq(source: PathOrHandle) -> Iterator[FastqRecord]:
+    """Stream FASTQ records (4-line format) from a path or handle."""
+    handle, owned = _open_for_read(source)
+    try:
+        while True:
+            header = handle.readline()
+            if not header:
+                return
+            header = header.rstrip("\n")
+            if not header:
+                continue
+            if not header.startswith("@"):
+                raise FastaFormatError(
+                    f"expected '@' header, found {header[:20]!r}"
+                )
+            name, _, description = header[1:].partition(" ")
+            sequence = handle.readline().rstrip("\n")
+            plus = handle.readline().rstrip("\n")
+            quality = handle.readline().rstrip("\n")
+            if not plus.startswith("+"):
+                raise FastaFormatError(
+                    f"record {name!r}: expected '+' separator, found "
+                    f"{plus[:20]!r}"
+                )
+            yield FastqRecord(name, sequence, quality, description)
+    finally:
+        if owned:
+            handle.close()
+
+
+def read_fastq(source: PathOrHandle) -> list[FastqRecord]:
+    """Read all FASTQ records from a path or open text handle."""
+    return list(iter_fastq(source))
+
+
+def write_fastq(target: PathOrHandle, records: Iterable[FastqRecord]) -> None:
+    """Write FASTQ records in the standard 4-line format."""
+    handle, owned = _open_for_write(target)
+    try:
+        for record in records:
+            header = record.name
+            if record.description:
+                header = f"{header} {record.description}"
+            handle.write(f"@{header}\n{record.sequence}\n+\n{record.quality}\n")
+    finally:
+        if owned:
+            handle.close()

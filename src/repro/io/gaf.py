@@ -1,0 +1,208 @@
+"""GAF output for sequence-to-graph mapping results.
+
+GAF (Graph Alignment Format) is the graph world's SAM — vg and
+GraphAligner both emit it.  A GAF line records the path through the
+graph (``>node1>node2...``), the path interval the read aligned to,
+match counts, and the alignment's CIGAR in the ``cg:Z:`` tag.
+
+Only forward-orientation paths are produced (the mapper reverse-
+complements the read rather than walking edges backwards), matching
+the topologically-sorted-DAG model of the aligner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, TextIO, Union
+
+from repro.core.alignment import Cigar
+from repro.graph.genome_graph import GenomeGraph
+
+if TYPE_CHECKING:  # avoid a circular import; only needed for hints
+    from repro.core.mapper import MappingResult
+
+PathOrHandle = Union[str, Path, TextIO]
+
+
+class GafFormatError(ValueError):
+    """Raised when a GAF line cannot be parsed."""
+
+
+@dataclass(frozen=True)
+class GafRecord:
+    """One GAF alignment record (the subset we emit).
+
+    Attributes:
+        query_name / query_length: the read.
+        path: node IDs of the alignment path, in order.
+        path_length: total bases of the path's nodes.
+        path_start / path_end: aligned interval within the path
+            (0-based, end-exclusive) in path coordinates.
+        matches: number of matching bases.
+        block_length: total alignment block length (matches + edits).
+        mapq: mapping quality (0-60).
+        cigar: extended CIGAR string ('' when unavailable).
+    """
+
+    query_name: str
+    query_length: int
+    path: tuple[int, ...]
+    path_length: int
+    path_start: int
+    path_end: int
+    matches: int
+    block_length: int
+    mapq: int
+    cigar: str = ""
+
+    @property
+    def path_string(self) -> str:
+        return "".join(f">{node}" for node in self.path)
+
+
+def result_to_gaf(result: "MappingResult", graph: GenomeGraph,
+                  read: str) -> GafRecord | None:
+    """Convert a mapped result to a GAF record (None when unmapped)."""
+    if not result.mapped or result.cigar is None or \
+            result.node_id is None:
+        return None
+    path = result.path_nodes or (result.node_id,)
+    path_length = sum(len(graph.sequence_of(n)) for n in path)
+    path_start = result.node_offset or 0
+    ref_span = result.cigar.ref_consumed
+    cigar = result.cigar
+    identity = result.identity or 0.0
+    return GafRecord(
+        query_name=result.read_name,
+        query_length=len(read),
+        path=tuple(path),
+        path_length=path_length,
+        path_start=path_start,
+        path_end=path_start + ref_span,
+        matches=cigar.matches,
+        block_length=cigar.matches + cigar.edit_distance,
+        mapq=max(0, min(60, int(60 * identity))),
+        cigar=str(cigar),
+    )
+
+
+def write_gaf(target: PathOrHandle,
+              records: Iterable[GafRecord]) -> None:
+    """Write GAF records (one line each, tab-separated)."""
+    handle, owned = _open_for_write(target)
+    try:
+        for record in records:
+            fields = [
+                record.query_name,
+                str(record.query_length),
+                "0",                       # query start
+                str(record.query_length),  # query end
+                "+",                       # orientation on the path
+                record.path_string,
+                str(record.path_length),
+                str(record.path_start),
+                str(record.path_end),
+                str(record.matches),
+                str(record.block_length),
+                str(record.mapq),
+            ]
+            if record.cigar:
+                fields.append(f"cg:Z:{record.cigar}")
+            handle.write("\t".join(fields) + "\n")
+    finally:
+        if owned:
+            handle.close()
+
+
+def read_gaf(source: PathOrHandle) -> list[GafRecord]:
+    """Parse the GAF subset produced by :func:`write_gaf`."""
+    handle, owned = _open_for_read(source)
+    try:
+        records = []
+        for line_number, raw in enumerate(handle, start=1):
+            line = raw.rstrip("\n")
+            if not line:
+                continue
+            fields = line.split("\t")
+            if len(fields) < 12:
+                raise GafFormatError(
+                    f"line {line_number}: expected >= 12 columns"
+                )
+            path_text = fields[5]
+            if not path_text.startswith(">"):
+                raise GafFormatError(
+                    f"line {line_number}: only forward paths are "
+                    f"supported, got {path_text[:20]!r}"
+                )
+            try:
+                path = tuple(int(p) for p in
+                             path_text.split(">")[1:])
+                cigar = ""
+                for tag in fields[12:]:
+                    if tag.startswith("cg:Z:"):
+                        cigar = tag[5:]
+                records.append(GafRecord(
+                    query_name=fields[0],
+                    query_length=int(fields[1]),
+                    path=path,
+                    path_length=int(fields[6]),
+                    path_start=int(fields[7]),
+                    path_end=int(fields[8]),
+                    matches=int(fields[9]),
+                    block_length=int(fields[10]),
+                    mapq=int(fields[11]),
+                    cigar=cigar,
+                ))
+            except ValueError as exc:
+                raise GafFormatError(
+                    f"line {line_number}: {exc}"
+                ) from None
+        return records
+    finally:
+        if owned:
+            handle.close()
+
+
+def validate_gaf_record(record: GafRecord,
+                        graph: GenomeGraph) -> None:
+    """Check a record against its graph: path edges must exist, the
+    aligned interval must fit the path, and the CIGAR must be
+    consistent with the declared counts."""
+    for src, dst in zip(record.path, record.path[1:]):
+        if dst not in graph.successors(src):
+            raise GafFormatError(
+                f"{record.query_name}: path edge ({src}, {dst}) does "
+                "not exist in the graph"
+            )
+    if not 0 <= record.path_start <= record.path_end \
+            <= record.path_length:
+        raise GafFormatError(
+            f"{record.query_name}: path interval "
+            f"[{record.path_start}, {record.path_end}) outside path "
+            f"length {record.path_length}"
+        )
+    if record.cigar:
+        cigar = Cigar.from_string(record.cigar)
+        if cigar.matches != record.matches:
+            raise GafFormatError(
+                f"{record.query_name}: matches column "
+                f"{record.matches} != CIGAR matches {cigar.matches}"
+            )
+        if cigar.ref_consumed != record.path_end - record.path_start:
+            raise GafFormatError(
+                f"{record.query_name}: path interval length != CIGAR "
+                "reference consumption"
+            )
+
+
+def _open_for_read(source: PathOrHandle):
+    if isinstance(source, (str, Path)):
+        return open(source, "r", encoding="ascii"), True
+    return source, False
+
+
+def _open_for_write(target: PathOrHandle):
+    if isinstance(target, (str, Path)):
+        return open(target, "w", encoding="ascii"), True
+    return target, False

@@ -1,0 +1,187 @@
+"""SAM output for sequence-to-sequence mapping results.
+
+Real mappers emit SAM (Sequence Alignment/Map); SeGraM's S2S use case
+(paper Section 9) produces exactly the information a SAM line needs.
+Only the subset the mapper produces is implemented: header (@HD/@SQ),
+mapped/unmapped single-end records with extended-CIGAR (``=``/``X``)
+alignment, the NM edit-distance tag, and round-trip parsing of that
+subset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, TextIO, Union
+
+from repro.core.alignment import Cigar
+
+if TYPE_CHECKING:  # avoid a circular import; only needed for hints
+    from repro.core.mapper import MappingResult
+
+PathOrHandle = Union[str, Path, TextIO]
+
+#: FLAG bits used by this writer.
+FLAG_UNMAPPED = 0x4
+FLAG_REVERSE = 0x10
+
+
+class SamFormatError(ValueError):
+    """Raised when a SAM line cannot be parsed."""
+
+
+@dataclass(frozen=True)
+class SamRecord:
+    """One single-end SAM alignment record (the subset we emit)."""
+
+    qname: str
+    flag: int
+    rname: str
+    pos: int  # 1-based; 0 for unmapped
+    mapq: int
+    cigar: str
+    seq: str
+    edit_distance: int | None = None
+
+    @property
+    def is_unmapped(self) -> bool:
+        return bool(self.flag & FLAG_UNMAPPED)
+
+    @property
+    def is_reverse(self) -> bool:
+        return bool(self.flag & FLAG_REVERSE)
+
+
+def result_to_sam(result: "MappingResult", read: str,
+                  reference_name: str) -> SamRecord:
+    """Convert a mapping result to a SAM record.
+
+    ``result.linear_position`` must be present for mapped reads (the
+    mapper fills it when built from a linear reference); mapped results
+    without a projection raise, because SAM coordinates are linear.
+    """
+    if not result.mapped:
+        return SamRecord(
+            qname=result.read_name, flag=FLAG_UNMAPPED, rname="*",
+            pos=0, mapq=0, cigar="*", seq=read,
+        )
+    if result.linear_position is None:
+        raise SamFormatError(
+            f"read {result.read_name!r}: mapped result has no linear "
+            "projection; SAM output requires a reference-backed mapper"
+        )
+    flag = FLAG_REVERSE if result.strand == "-" else 0
+    mapq = _mapq_from_identity(result)
+    return SamRecord(
+        qname=result.read_name,
+        flag=flag,
+        rname=reference_name,
+        pos=result.linear_position + 1,
+        mapq=mapq,
+        cigar=str(result.cigar),
+        seq=read,
+        edit_distance=result.distance,
+    )
+
+
+def _mapq_from_identity(result: "MappingResult") -> int:
+    """A simple Phred-style mapping quality from alignment identity."""
+    identity = result.identity or 0.0
+    return max(0, min(60, int(60 * identity)))
+
+
+def write_sam(
+    target: PathOrHandle,
+    records: Iterable[SamRecord],
+    reference_name: str,
+    reference_length: int,
+) -> None:
+    """Write records with a minimal @HD/@SQ header."""
+    handle, owned = _open_for_write(target)
+    try:
+        handle.write("@HD\tVN:1.6\tSO:unknown\n")
+        handle.write(f"@SQ\tSN:{reference_name}\t"
+                     f"LN:{reference_length}\n")
+        handle.write("@PG\tID:segram-repro\tPN:segram-repro\n")
+        for record in records:
+            fields = [
+                record.qname, str(record.flag), record.rname,
+                str(record.pos), str(record.mapq), record.cigar,
+                "*", "0", "0", record.seq, "*",
+            ]
+            if record.edit_distance is not None:
+                fields.append(f"NM:i:{record.edit_distance}")
+            handle.write("\t".join(fields) + "\n")
+    finally:
+        if owned:
+            handle.close()
+
+
+def read_sam(source: PathOrHandle) -> list[SamRecord]:
+    """Parse the SAM subset produced by :func:`write_sam`."""
+    handle, owned = _open_for_read(source)
+    try:
+        records = []
+        for line_number, raw in enumerate(handle, start=1):
+            line = raw.rstrip("\n")
+            if not line or line.startswith("@"):
+                continue
+            fields = line.split("\t")
+            if len(fields) < 11:
+                raise SamFormatError(
+                    f"line {line_number}: expected >= 11 columns"
+                )
+            edit_distance = None
+            for tag in fields[11:]:
+                if tag.startswith("NM:i:"):
+                    edit_distance = int(tag[5:])
+            try:
+                record = SamRecord(
+                    qname=fields[0], flag=int(fields[1]),
+                    rname=fields[2], pos=int(fields[3]),
+                    mapq=int(fields[4]), cigar=fields[5],
+                    seq=fields[9], edit_distance=edit_distance,
+                )
+            except ValueError as exc:
+                raise SamFormatError(
+                    f"line {line_number}: {exc}"
+                ) from None
+            records.append(record)
+        return records
+    finally:
+        if owned:
+            handle.close()
+
+
+def validate_sam_record(record: SamRecord) -> None:
+    """Internal consistency checks on a mapped record.
+
+    The extended CIGAR must consume exactly the SEQ, and the NM tag
+    must equal the CIGAR's edit count.
+    """
+    if record.is_unmapped:
+        return
+    cigar = Cigar.from_string(record.cigar)
+    if cigar.read_consumed != len(record.seq):
+        raise SamFormatError(
+            f"{record.qname}: CIGAR consumes {cigar.read_consumed} "
+            f"read bases, SEQ has {len(record.seq)}"
+        )
+    if record.edit_distance is not None and \
+            record.edit_distance != cigar.edit_distance:
+        raise SamFormatError(
+            f"{record.qname}: NM:i:{record.edit_distance} != CIGAR "
+            f"edits {cigar.edit_distance}"
+        )
+
+
+def _open_for_read(source: PathOrHandle):
+    if isinstance(source, (str, Path)):
+        return open(source, "r", encoding="ascii"), True
+    return source, False
+
+
+def _open_for_write(target: PathOrHandle):
+    if isinstance(target, (str, Path)):
+        return open(target, "w", encoding="ascii"), True
+    return target, False

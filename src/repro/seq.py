@@ -1,0 +1,127 @@
+"""DNA alphabet utilities: 2-bit encoding, complements, validation.
+
+The SeGraM paper stores reference characters with a 2-bit representation
+(A:00, C:01, G:10, T:11; Section 5).  Every component of this library
+(graph character table, minimizer hashing, pattern bitmasks) goes through
+the encoding defined here so the on-"chip" representation is consistent.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable
+
+#: Canonical DNA alphabet in encoding order (A=0, C=1, G=2, T=3).
+ALPHABET = "ACGT"
+
+#: Number of symbols in the alphabet.
+ALPHABET_SIZE = 4
+
+#: Bits needed per encoded base.
+BITS_PER_BASE = 2
+
+_ENCODE = {"A": 0, "C": 1, "G": 2, "T": 3, "a": 0, "c": 1, "g": 2, "t": 3}
+_DECODE = "ACGT"
+_COMPLEMENT = {"A": "T", "C": "G", "G": "C", "T": "A",
+               "a": "t", "c": "g", "g": "c", "t": "a", "N": "N", "n": "n"}
+
+
+class InvalidBaseError(ValueError):
+    """Raised when a sequence contains a character outside {A, C, G, T}."""
+
+
+def encode_base(base: str) -> int:
+    """Return the 2-bit code of a single base (A=0, C=1, G=2, T=3)."""
+    try:
+        return _ENCODE[base]
+    except KeyError:
+        raise InvalidBaseError(f"invalid DNA base: {base!r}") from None
+
+
+def decode_base(code: int) -> str:
+    """Return the base character for a 2-bit code."""
+    if not 0 <= code < ALPHABET_SIZE:
+        raise InvalidBaseError(f"invalid 2-bit base code: {code!r}")
+    return _DECODE[code]
+
+
+def encode(sequence: str) -> list[int]:
+    """Encode a DNA string into a list of 2-bit codes."""
+    return [encode_base(b) for b in sequence]
+
+
+def decode(codes: Iterable[int]) -> str:
+    """Decode an iterable of 2-bit codes back into a DNA string."""
+    return "".join(decode_base(c) for c in codes)
+
+
+def pack(sequence: str) -> int:
+    """Pack a DNA string into a single integer, 2 bits per base.
+
+    The first character of the sequence occupies the highest-order bits,
+    matching the character-table layout used by the genome graph where
+    sequences are laid out left to right.
+    """
+    value = 0
+    for base in sequence:
+        value = (value << BITS_PER_BASE) | encode_base(base)
+    return value
+
+
+def unpack(value: int, length: int) -> str:
+    """Unpack an integer produced by :func:`pack` back into a string."""
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    bases = []
+    for shift in range((length - 1) * BITS_PER_BASE, -1, -BITS_PER_BASE):
+        bases.append(decode_base((value >> shift) & 0b11))
+    return "".join(bases)
+
+
+def complement(sequence: str) -> str:
+    """Return the complement of a DNA sequence (A<->T, C<->G)."""
+    try:
+        return "".join(_COMPLEMENT[b] for b in sequence)
+    except KeyError as exc:
+        raise InvalidBaseError(f"invalid DNA base: {exc.args[0]!r}") from None
+
+
+def reverse_complement(sequence: str) -> str:
+    """Return the reverse complement of a DNA sequence."""
+    return complement(sequence)[::-1]
+
+
+def is_valid(sequence: str) -> bool:
+    """Return True if every character of the sequence is a valid base."""
+    return all(b in _ENCODE for b in sequence)
+
+
+def validate(sequence: str, name: str = "sequence") -> str:
+    """Validate a sequence, returning it uppercased.
+
+    Raises :class:`InvalidBaseError` naming the offending position so
+    errors surface close to the bad input rather than deep in an aligner.
+    """
+    upper = sequence.upper()
+    for position, base in enumerate(upper):
+        if base not in _ENCODE:
+            raise InvalidBaseError(
+                f"{name} contains invalid base {base!r} at position {position}"
+            )
+    return upper
+
+
+def random_sequence(length: int, rng: random.Random) -> str:
+    """Generate a uniform random DNA sequence of the given length."""
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    return "".join(rng.choice(ALPHABET) for _ in range(length))
+
+
+def hamming_distance(left: str, right: str) -> int:
+    """Return the Hamming distance between two equal-length sequences."""
+    if len(left) != len(right):
+        raise ValueError(
+            f"sequences differ in length: {len(left)} vs {len(right)}"
+        )
+    return sum(1 for a, b in zip(left, right) if a != b)

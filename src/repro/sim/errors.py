@@ -1,0 +1,90 @@
+"""Sequencing-error channel shared by the read simulators.
+
+Errors are applied per transmitted base: with probability
+``error_rate`` an error event occurs, whose type is drawn from the
+(mismatch, insertion, deletion) mix.  The defaults per technology
+follow the simulators the paper uses: PBSIM2-style long reads are
+indel-dominated, Mason-style Illumina reads are mismatch-dominated.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro import seq as seqmod
+
+
+@dataclass(frozen=True)
+class ErrorModel:
+    """An error rate plus its (mismatch, insertion, deletion) mix."""
+
+    error_rate: float
+    mismatch_fraction: float = 1.0 / 3.0
+    insertion_fraction: float = 1.0 / 3.0
+    deletion_fraction: float = 1.0 / 3.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.error_rate < 1.0:
+            raise ValueError(
+                f"error_rate must be in [0, 1), got {self.error_rate}"
+            )
+        total = (self.mismatch_fraction + self.insertion_fraction
+                 + self.deletion_fraction)
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(
+                f"error-type fractions must sum to 1, got {total}"
+            )
+
+    @classmethod
+    def pacbio(cls, error_rate: float = 0.05) -> "ErrorModel":
+        """PBSIM2-like PacBio CLR mix: indel-heavy (sub:ins:del
+        roughly 1:5:4)."""
+        return cls(error_rate, mismatch_fraction=0.10,
+                   insertion_fraction=0.50, deletion_fraction=0.40)
+
+    @classmethod
+    def nanopore(cls, error_rate: float = 0.10) -> "ErrorModel":
+        """PBSIM2-like ONT mix: balanced with deletion skew
+        (roughly 25:30:45)."""
+        return cls(error_rate, mismatch_fraction=0.25,
+                   insertion_fraction=0.30, deletion_fraction=0.45)
+
+    @classmethod
+    def illumina(cls, error_rate: float = 0.01) -> "ErrorModel":
+        """Mason-like Illumina mix: substitutions dominate."""
+        return cls(error_rate, mismatch_fraction=0.90,
+                   insertion_fraction=0.05, deletion_fraction=0.05)
+
+
+def _other_base(base: str, rng: random.Random) -> str:
+    choices = [b for b in seqmod.ALPHABET if b != base]
+    return rng.choice(choices)
+
+
+def apply_errors(sequence: str, model: ErrorModel,
+                 rng: random.Random) -> tuple[str, int]:
+    """Pass a sequence through the error channel.
+
+    Returns ``(noisy_sequence, error_count)``.  Insertions add a random
+    base before the current base; deletions drop the current base;
+    mismatches substitute a different base.
+    """
+    if model.error_rate == 0.0:
+        return sequence, 0
+    output: list[str] = []
+    errors = 0
+    ins_cut = model.mismatch_fraction + model.insertion_fraction
+    for base in sequence:
+        if rng.random() >= model.error_rate:
+            output.append(base)
+            continue
+        errors += 1
+        kind = rng.random()
+        if kind < model.mismatch_fraction:
+            output.append(_other_base(base, rng))
+        elif kind < ins_cut:
+            output.append(rng.choice(seqmod.ALPHABET))
+            output.append(base)
+        # else: deletion — emit nothing.
+    return "".join(output), errors

@@ -1,0 +1,91 @@
+"""PBSIM2-like long-read simulation.
+
+The paper's long-read datasets are PacBio and ONT reads of 10 kbp at
+5 % and 10 % error rates, 10,000 reads per set (Section 10).  Reads
+are drawn uniformly from the reference (or an alternate haplotype)
+and passed through the technology's error channel.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.sim.errors import ErrorModel, apply_errors
+
+
+@dataclass(frozen=True)
+class SimulatedLinearRead:
+    """A read simulated from a linear sequence, with its ground truth.
+
+    Attributes:
+        name: read identifier.
+        sequence: the (noisy) read bases.
+        ref_start: true 0-based start on the source sequence.
+        ref_end: true exclusive end on the source sequence.
+        errors: number of error events the channel applied.
+    """
+
+    name: str
+    sequence: str
+    ref_start: int
+    ref_end: int
+    errors: int
+
+
+@dataclass(frozen=True)
+class LongReadProfile:
+    """Length and error parameters of a long-read set."""
+
+    read_length: int = 10_000
+    model: ErrorModel = ErrorModel.pacbio(0.05)
+
+    def __post_init__(self) -> None:
+        if self.read_length < 1:
+            raise ValueError("read_length must be >= 1")
+
+    @classmethod
+    def pacbio(cls, error_rate: float = 0.05,
+               read_length: int = 10_000) -> "LongReadProfile":
+        return cls(read_length, ErrorModel.pacbio(error_rate))
+
+    @classmethod
+    def nanopore(cls, error_rate: float = 0.10,
+                 read_length: int = 10_000) -> "LongReadProfile":
+        return cls(read_length, ErrorModel.nanopore(error_rate))
+
+
+def simulate_long_reads(
+    reference: str,
+    count: int,
+    rng: random.Random,
+    profile: LongReadProfile | None = None,
+    name_prefix: str = "long",
+) -> list[SimulatedLinearRead]:
+    """Draw ``count`` long reads uniformly from a reference.
+
+    Reads longer than the reference are clipped to it (small test
+    genomes); every read records its true origin for accuracy
+    evaluation.
+    """
+    if count < 0:
+        raise ValueError("count must be >= 0")
+    profile = profile or LongReadProfile()
+    length = min(profile.read_length, len(reference))
+    reads: list[SimulatedLinearRead] = []
+    for index in range(count):
+        start = rng.randint(0, len(reference) - length)
+        fragment = reference[start:start + length]
+        noisy, errors = apply_errors(fragment, profile.model, rng)
+        if not noisy:
+            # The channel deleted everything (only possible for tiny
+            # fragments); keep one faithful base so the read is valid.
+            noisy, errors = fragment[:1], max(0, len(fragment) - 1)
+        reads.append(SimulatedLinearRead(
+            name=f"{name_prefix}_{index}",
+            sequence=noisy,
+            ref_start=start,
+            ref_end=start + length,
+            errors=errors,
+        ))
+    return reads

@@ -1,0 +1,121 @@
+"""Tests for affine-gap (Gotoh) alignment."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.align.affine import (
+    AffineAlignment,
+    AffineScoring,
+    AffineSizeError,
+    affine_align,
+    affine_cost,
+)
+from repro.align.dp_linear import edit_distance, semiglobal_distance
+from repro.core.alignment import replay_alignment
+
+dna = st.text(alphabet="ACGT", min_size=1, max_size=40)
+
+
+class TestScoring:
+    def test_defaults(self):
+        scoring = AffineScoring()
+        assert scoring.gap_open > 0
+
+    def test_edit_distance_preset(self):
+        scoring = AffineScoring.edit_distance()
+        assert (scoring.mismatch, scoring.gap_open,
+                scoring.gap_extend) == (1, 0, 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AffineScoring(mismatch=-1)
+        with pytest.raises(ValueError):
+            AffineScoring(gap_extend=0)
+
+
+class TestEditDistanceEquivalence:
+    """With unit costs and no open penalty, Gotoh == Levenshtein."""
+
+    @settings(max_examples=120, deadline=None)
+    @given(dna, dna)
+    def test_global_matches_levenshtein(self, a, b):
+        cost = affine_cost(a, b, AffineScoring.edit_distance(),
+                           fitting=False)
+        assert cost == edit_distance(a, b)
+
+    @settings(max_examples=120, deadline=None)
+    @given(dna, dna)
+    def test_fitting_matches_semiglobal(self, reference, read):
+        cost = affine_cost(reference, read,
+                           AffineScoring.edit_distance(), fitting=True)
+        expected, _ = semiglobal_distance(reference, read)
+        assert cost == expected
+
+
+class TestAffineBehaviour:
+    def test_one_long_gap_beats_scattered_gaps(self):
+        # Reference has a 6-base block missing from the read.
+        reference = "ACGTAC" + "GGGGGG" + "TACGTT"
+        read = "ACGTACTACGTT"
+        result = affine_align(reference, read, AffineScoring(),
+                              fitting=False)
+        # The alignment must use a single 6-long deletion run.
+        deletion_runs = [length for op, length in result.cigar.ops
+                         if op == "D"]
+        assert deletion_runs == [6]
+
+    def test_gap_open_steers_away_from_split_gaps(self):
+        reference = "AAAACCCCGGGG"
+        read = "AAAAGGGG"
+        cheap_open = affine_cost(reference, read,
+                                 AffineScoring(mismatch=4, gap_open=0,
+                                               gap_extend=1),
+                                 fitting=False)
+        pricey_open = affine_cost(reference, read,
+                                  AffineScoring(mismatch=4, gap_open=8,
+                                                gap_extend=1),
+                                  fitting=False)
+        assert pricey_open == cheap_open + 8  # one gap, opened once
+
+    def test_exact_fitting_costs_zero(self):
+        result = affine_align("AAACGTACGTAAA", "ACGTACGT")
+        assert result.cost == 0
+        assert str(result.cigar) == "8="
+        assert result.ref_start == 2
+
+    def test_empty_reference(self):
+        result = affine_align("", "ACGT")
+        assert result.cigar.insertions == 4
+
+    def test_empty_read_rejected(self):
+        with pytest.raises(ValueError):
+            affine_align("ACGT", "")
+
+    def test_size_guard(self):
+        with pytest.raises(AffineSizeError):
+            affine_align("A" * 200, "A" * 200, max_cells=100)
+
+
+class TestTraceback:
+    @settings(max_examples=120, deadline=None)
+    @given(dna, dna)
+    def test_replay_validates(self, reference, read):
+        result = affine_align(reference, read, AffineScoring(),
+                              fitting=True)
+        consumed = reference[result.ref_start:result.ref_end]
+        replay_alignment(result.cigar, read, consumed)
+
+    @settings(max_examples=120, deadline=None)
+    @given(dna, dna)
+    def test_cigar_cost_equals_reported_cost(self, reference, read):
+        scoring = AffineScoring()
+        result = affine_align(reference, read, scoring, fitting=True)
+        cost = result.cigar.mismatches * scoring.mismatch
+        for op, length in result.cigar.ops:
+            if op in "ID":
+                cost += scoring.gap_open \
+                    + scoring.gap_extend * length
+        assert cost == result.cost

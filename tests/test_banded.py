@@ -1,0 +1,74 @@
+"""Tests for banded fitting alignment."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.align.banded import banded_distance
+from repro.align.dp_linear import semiglobal_distance
+
+dna = st.text(alphabet="ACGT", min_size=1, max_size=50)
+pattern_strategy = st.text(alphabet="ACGT", min_size=1, max_size=20)
+
+
+class TestBanded:
+    def test_exact_match_on_diagonal(self):
+        assert banded_distance("AAACGTAAA", "ACGT", k=1,
+                               diagonal=2) == 0
+
+    def test_mismatch_costs_one(self):
+        assert banded_distance("AAACCTAAA", "ACGT", k=2,
+                               diagonal=2) == 1
+
+    def test_true_alignment_outside_band_missed(self):
+        # The occurrence sits at diagonal 10; with hint 0 and k=2 the
+        # band never reaches it.
+        reference = "T" * 10 + "ACGT" + "T" * 10
+        in_band = banded_distance(reference, "ACGT", k=2, diagonal=10)
+        out_of_band = banded_distance(reference, "ACGT", k=2,
+                                      diagonal=0)
+        assert in_band == 0
+        assert out_of_band is None or out_of_band > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            banded_distance("ACGT", "", k=2)
+        with pytest.raises(ValueError):
+            banded_distance("ACGT", "A", k=-1)
+
+    @settings(max_examples=200, deadline=None)
+    @given(dna, pattern_strategy)
+    def test_wide_band_matches_full_dp(self, reference, read):
+        """With the band covering every diagonal the result equals the
+        unbanded fitting distance (when within threshold)."""
+        dp, _ = semiglobal_distance(reference, read)
+        k = len(reference) + len(read)
+        result = banded_distance(reference, read, k=k, diagonal=0)
+        assert result == dp
+
+    @settings(max_examples=150, deadline=None)
+    @given(dna, pattern_strategy,
+           st.integers(min_value=0, max_value=8))
+    def test_band_never_beats_full_dp(self, reference, read, k):
+        """The banded distance is an upper bound of the true fitting
+        distance whenever it reports one."""
+        dp, _ = semiglobal_distance(reference, read)
+        result = banded_distance(reference, read, k=k, diagonal=0)
+        if result is not None:
+            assert result >= dp
+            assert result <= k
+
+    @settings(max_examples=100, deadline=None)
+    @given(dna, st.integers(min_value=0, max_value=30),
+           st.integers(min_value=1, max_value=12))
+    def test_seed_hint_finds_planted_occurrence(self, flank, offset,
+                                                length):
+        """A read planted at a known diagonal is always found with a
+        small band anchored there."""
+        read = "ACGTTGCA"[:max(4, length % 8 + 4)]
+        reference = flank[:offset] + read + flank
+        result = banded_distance(reference, read, k=2,
+                                 diagonal=min(offset, len(flank)))
+        assert result == 0

@@ -1,0 +1,212 @@
+"""Tests for BitAlign — the paper's core algorithm (Algorithm 1).
+
+The decisive property: BitAlign's fitting-alignment distance equals the
+PaSGAL-style DP ground truth on arbitrary DAGs, and its traceback
+replays exactly.  On chains it must also equal the linear aligners.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.align.dp_graph import graph_distance
+from repro.align.dp_linear import semiglobal_distance
+from repro.align.genasm import genasm_distance
+from repro.core.alignment import replay_alignment
+from repro.core.bitalign import bitalign, bitalign_distance
+from repro.graph.builder import Variant, build_graph
+from repro.graph.genome_graph import GenomeGraph
+from repro.graph.linearize import linearize
+from repro.sim.reference import random_reference
+from repro.sim.variants import VariantProfile, simulate_variants
+
+dna = st.text(alphabet="ACGT", min_size=1, max_size=40)
+pattern_strategy = st.text(alphabet="ACGT", min_size=1, max_size=20)
+
+
+def chain(text: str):
+    return linearize(GenomeGraph.from_linear(text, node_length=3))
+
+
+def random_variant_graph(seed: int, min_len: int = 40, max_len: int = 150):
+    rng = random.Random(seed)
+    reference = random_reference(rng.randint(min_len, max_len), rng)
+    profile = VariantProfile(
+        snp_rate=0.05, insertion_rate=0.02, deletion_rate=0.02,
+        sv_rate=0.002, sv_min=5, sv_max=15, small_indel_max=4,
+    )
+    variants = simulate_variants(reference, rng, profile)
+    built = build_graph(reference, variants)
+    return linearize(built.graph), reference, rng
+
+
+class TestKnownCases:
+    def test_exact_backbone_match(self):
+        built = build_graph("ACGTTACGT", [Variant(4, 5, "G")])
+        lin = linearize(built.graph)
+        result = bitalign(lin, "ACGTTACGT", k=2)
+        assert result is not None
+        assert result.distance == 0
+
+    def test_exact_variant_match(self):
+        built = build_graph("ACGTTACGT", [Variant(4, 5, "G")])
+        lin = linearize(built.graph)
+        result = bitalign(lin, "ACGTGACGT", k=2)
+        assert result is not None
+        assert result.distance == 0
+        # The path must route through the alt node.
+        nodes = {lin.node_ids[p] for p in result.path}
+        alt_node = built.alt_nodes[0]
+        assert alt_node in nodes
+
+    def test_fig1_all_haplotypes_align_exactly(self):
+        built = build_graph(
+            "ACGTACGT",
+            [Variant(3, 4, "G"), Variant(4, 4, "T"), Variant(3, 4, "")],
+        )
+        lin = linearize(built.graph)
+        for haplotype in ["ACGTACGT", "ACGGACGT", "ACGTTACGT", "ACGACGT"]:
+            result = bitalign(lin, haplotype, k=3)
+            assert result is not None, haplotype
+            assert result.distance == 0, haplotype
+
+    def test_deletion_hop(self):
+        # Deleting "TT" gives the haplotype ACGTACGT.
+        built = build_graph("ACGTTTACGT", [Variant(4, 6, "")])
+        lin = linearize(built.graph)
+        result = bitalign(lin, "ACGTACGT", k=2)
+        assert result is not None
+        assert result.distance == 0
+
+    def test_over_threshold_returns_none(self):
+        lin = chain("AAAAAAAA")
+        assert bitalign(lin, "TTTT", k=2) is None
+
+    def test_empty_graph(self):
+        from repro.graph.linearize import LinearizedGraph
+        lin = LinearizedGraph(chars="", successors=[], node_ids=[],
+                              node_offsets=[])
+        assert bitalign(lin, "ACG", k=3) is not None
+        assert bitalign(lin, "ACG", k=2) is None
+
+    def test_parameter_validation(self):
+        lin = chain("ACGT")
+        with pytest.raises(ValueError):
+            bitalign(lin, "", k=2)
+        with pytest.raises(ValueError):
+            bitalign(lin, "A", k=-1)
+
+    def test_anchored_start(self):
+        lin = chain("ACGTACGT")
+        # Restrict the start to position 4: the second ACGT.
+        result = bitalign(lin, "ACGT", k=1, anchors=[4])
+        assert result is not None
+        assert result.path[0] == 4
+
+
+class TestChainEquivalence:
+    @settings(max_examples=150, deadline=None)
+    @given(dna, pattern_strategy)
+    def test_matches_linear_genasm(self, text, pattern):
+        k = min(len(pattern), 6)
+        ours = bitalign_distance(chain(text), pattern, k)
+        linear = genasm_distance(text, pattern, k)
+        if linear is None:
+            assert ours is None
+        else:
+            assert ours is not None
+            assert ours[0] == linear[0]
+
+    @settings(max_examples=150, deadline=None)
+    @given(dna, pattern_strategy)
+    def test_matches_linear_dp(self, text, pattern):
+        dp, _ = semiglobal_distance(text, pattern)
+        k = min(len(pattern), dp + 2)
+        ours = bitalign_distance(chain(text), pattern, k)
+        if dp <= k:
+            assert ours is not None and ours[0] == dp
+        else:
+            assert ours is None
+
+
+class TestGraphEquivalence:
+    """BitAlign == graph DP on random variant graphs."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=0, max_value=100_000))
+    def test_distance_matches_dp_random_reads(self, seed):
+        lin, reference, rng = random_variant_graph(seed)
+        read = "".join(rng.choice("ACGT")
+                       for _ in range(rng.randint(4, 25)))
+        dp, _ = graph_distance(lin, read)
+        k = min(len(read), dp + 2)
+        ours = bitalign_distance(lin, read, k)
+        assert ours is not None
+        assert ours[0] == dp
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=0, max_value=100_000))
+    def test_distance_matches_dp_mutated_backbone_reads(self, seed):
+        lin, reference, rng = random_variant_graph(seed)
+        start = rng.randint(0, max(0, len(reference) - 30))
+        fragment = reference[start:start + rng.randint(10, 30)]
+        if not fragment:
+            return
+        # Mutate a couple of bases so edits are exercised.
+        chars = list(fragment)
+        for _ in range(rng.randint(0, 3)):
+            chars[rng.randrange(len(chars))] = rng.choice("ACGT")
+        read = "".join(chars)
+        dp, _ = graph_distance(lin, read)
+        ours = bitalign_distance(lin, read, k=min(len(read), dp + 1))
+        assert ours is not None
+        assert ours[0] == dp
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=0, max_value=100_000))
+    def test_traceback_replays_and_follows_edges(self, seed):
+        lin, reference, rng = random_variant_graph(seed)
+        start = rng.randint(0, max(0, len(reference) - 25))
+        fragment = reference[start:start + rng.randint(8, 25)]
+        if not fragment:
+            return
+        chars = list(fragment)
+        for _ in range(rng.randint(0, 2)):
+            chars[rng.randrange(len(chars))] = rng.choice("ACGT")
+        read = "".join(chars)
+        dp, _ = graph_distance(lin, read)
+        result = bitalign(lin, read, k=min(len(read), dp + 2))
+        assert result is not None
+        assert result.distance == dp
+        assert replay_alignment(result.cigar, read, result.reference) == dp
+        for src, dst in zip(result.path, result.path[1:]):
+            assert dst in lin.successors[src]
+
+
+class TestHopLimit:
+    def test_hop_limit_can_degrade_alignment(self):
+        # A long deletion's hop exceeds the limit; the exact aligner
+        # uses it, the limited one pays edits instead.
+        built = build_graph("ACGT" + "T" * 30 + "ACGT",
+                            [Variant(4, 34, "")])
+        exact = linearize(built.graph)
+        limited = linearize(built.graph, hop_limit=12)
+        read = "ACGTACGT"
+        exact_result = bitalign_distance(exact, read, k=8)
+        limited_result = bitalign_distance(limited, read, k=8)
+        assert exact_result is not None and exact_result[0] == 0
+        assert limited_result is not None
+        assert limited_result[0] > 0
+
+    def test_hop_limit_matches_dp_on_same_truncated_graph(self):
+        built = build_graph("ACGT" + "T" * 30 + "ACGT",
+                            [Variant(4, 34, "")])
+        limited = linearize(built.graph, hop_limit=12)
+        read = "ACGTACGT"
+        dp, _ = graph_distance(limited, read)
+        ours = bitalign_distance(limited, read, k=8)
+        assert ours is not None and ours[0] == dp

@@ -1,0 +1,95 @@
+"""Tests for bubble detection and graph-shape statistics."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graph.builder import Variant, build_graph
+from repro.graph.bubbles import find_simple_bubbles, graph_shape
+from repro.graph.genome_graph import GenomeGraph, GraphError
+from repro.sim.reference import random_reference
+from repro.sim.variants import VariantProfile, simulate_variants
+
+
+class TestFindBubbles:
+    def test_snp_bubble(self):
+        built = build_graph("ACGTACGTACGT", [Variant(5, 6, "T")])
+        bubbles = find_simple_bubbles(built.graph)
+        assert len(bubbles) == 1
+        assert bubbles[0].arity == 2
+        assert bubbles[0].is_snp_like
+
+    def test_deletion_bubble_has_skip_edge(self):
+        built = build_graph("ACGTACGTACGT", [Variant(5, 8, "")])
+        bubbles = find_simple_bubbles(built.graph)
+        assert len(bubbles) == 1
+        assert bubbles[0].has_skip_edge
+        assert not bubbles[0].is_snp_like
+
+    def test_insertion_bubble(self):
+        built = build_graph("ACGTACGTACGT", [Variant(6, 6, "TT")])
+        bubbles = find_simple_bubbles(built.graph)
+        assert len(bubbles) == 1
+        assert bubbles[0].has_skip_edge  # direct edge skips the insert
+
+    def test_multiallelic_bubble(self):
+        built = build_graph("ACGTACGTACGT",
+                            [Variant(5, 6, "T"), Variant(5, 6, "A")])
+        bubbles = find_simple_bubbles(built.graph)
+        assert len(bubbles) == 1
+        assert bubbles[0].arity == 3
+
+    def test_linear_graph_has_no_bubbles(self):
+        graph = GenomeGraph.from_linear("ACGTACGT", node_length=2)
+        assert find_simple_bubbles(graph) == []
+
+    def test_requires_sorted_graph(self):
+        graph = GenomeGraph()
+        a, b = graph.add_node("A"), graph.add_node("C")
+        graph.add_edge(b, a)
+        with pytest.raises(GraphError):
+            find_simple_bubbles(graph)
+
+    def test_bubble_count_matches_variant_count(self):
+        rng = random.Random(13)
+        reference = random_reference(5_000, rng)
+        profile = VariantProfile(snp_rate=0.01, insertion_rate=0.0,
+                                 deletion_rate=0.0, sv_rate=0.0)
+        variants = simulate_variants(reference, rng, profile)
+        built = build_graph(reference, variants)
+        bubbles = find_simple_bubbles(built.graph)
+        # Isolated SNPs each create exactly one bubble (adjacent SNPs
+        # can merge branching structure, so allow a small deficit).
+        assert len(bubbles) >= 0.9 * len(variants)
+
+
+class TestGraphShape:
+    def test_snp_dominated_shape(self):
+        """GIAB-like graphs are SNP-dominated — the premise behind the
+        paper's Fig. 13 short-hop argument."""
+        rng = random.Random(17)
+        reference = random_reference(20_000, rng)
+        profile = VariantProfile(snp_rate=0.004,
+                                 insertion_rate=0.0003,
+                                 deletion_rate=0.0003, sv_rate=0.0)
+        variants = simulate_variants(reference, rng, profile)
+        built = build_graph(reference, variants)
+        shape = graph_shape(built.graph)
+        assert shape.simple_bubbles > 0
+        assert shape.snp_fraction > 0.7
+        assert shape.branching_nodes >= shape.simple_bubbles
+
+    def test_counts_are_consistent(self, small_graph):
+        shape = graph_shape(small_graph)
+        assert shape.nodes == small_graph.node_count
+        assert shape.edges == small_graph.edge_count
+        assert shape.bases == small_graph.total_sequence_length
+        assert shape.max_out_degree >= 2
+
+    def test_empty_shape_on_linear(self):
+        graph = GenomeGraph.from_linear("ACGT" * 10, node_length=5)
+        shape = graph_shape(graph)
+        assert shape.simple_bubbles == 0
+        assert shape.snp_fraction == 0.0

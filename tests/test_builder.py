@@ -1,0 +1,178 @@
+"""Tests for variation-graph construction (vg construct equivalent)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.builder import (
+    Variant,
+    VariantError,
+    build_graph,
+    normalize_variant,
+)
+from repro.io.vcf import VcfRecord
+from repro.sim.reference import random_reference
+from repro.sim.variants import (
+    VariantProfile,
+    apply_variants,
+    simulate_variants,
+)
+
+
+class TestNormalize:
+    def test_snp(self):
+        variant = normalize_variant(VcfRecord("c", 5, "A", "G"))
+        assert variant == Variant(4, 5, "G")
+
+    def test_anchored_insertion(self):
+        variant = normalize_variant(VcfRecord("c", 5, "A", "AGG"))
+        assert variant == Variant(5, 5, "GG")
+
+    def test_anchored_deletion(self):
+        variant = normalize_variant(VcfRecord("c", 5, "ATT", "A"))
+        assert variant == Variant(5, 7, "")
+
+    def test_shared_suffix_stripped(self):
+        variant = normalize_variant(VcfRecord("c", 5, "ACG", "ATG"))
+        assert variant == Variant(5, 6, "T")
+
+    def test_noop_returns_none(self):
+        assert normalize_variant(VcfRecord("c", 5, "AC", "AC")) is None
+
+    def test_variant_validation(self):
+        with pytest.raises(VariantError):
+            Variant(-1, 2, "A")
+        with pytest.raises(VariantError):
+            Variant(3, 2, "A")
+        with pytest.raises(VariantError):
+            Variant(3, 3, "")
+
+
+class TestBuildLinear:
+    def test_no_variants_single_node(self):
+        built = build_graph("ACGTACGT")
+        assert built.graph.node_count == 1
+        assert built.backbone_sequence() == "ACGTACGT"
+
+    def test_max_node_length_chunks(self):
+        built = build_graph("ACGTACGTAC", max_node_length=3)
+        assert built.backbone_sequence() == "ACGTACGTAC"
+        assert all(len(built.graph.sequence_of(n)) <= 3
+                   for n in built.backbone)
+
+    def test_empty_reference_rejected(self):
+        with pytest.raises(Exception):
+            build_graph("")
+
+
+class TestBuildVariants:
+    def test_snp_creates_bubble(self):
+        # Reference ACGTACGT with SNP T->G at position 3 (paper Fig. 1).
+        built = build_graph("ACGTACGT", [Variant(3, 4, "G")])
+        graph = built.graph
+        assert built.backbone_sequence() == "ACGTACGT"
+        # Some path spells the variant haplotype.
+        assert _spells(graph, "ACGGACGT")
+
+    def test_insertion(self):
+        built = build_graph("ACGTACGT", [Variant(4, 4, "T")])
+        assert built.backbone_sequence() == "ACGTACGT"
+        assert _spells(built.graph, "ACGTTACGT")
+
+    def test_deletion(self):
+        built = build_graph("ACGTACGT", [Variant(3, 4, "")])
+        assert built.backbone_sequence() == "ACGTACGT"
+        assert _spells(built.graph, "ACGACGT")
+
+    def test_fig1_graph_spells_all_four_sequences(self):
+        # Paper Fig. 1: 4 related sequences from one graph.
+        built = build_graph(
+            "ACGTACGT",
+            [Variant(3, 4, "G"), Variant(4, 4, "T"), Variant(3, 4, "")],
+        )
+        for haplotype in ["ACGTACGT", "ACGGACGT", "ACGTTACGT", "ACGACGT"]:
+            assert _spells(built.graph, haplotype)
+
+    def test_variant_at_reference_start(self):
+        built = build_graph("ACGT", [Variant(0, 1, "T")])
+        assert _spells(built.graph, "TCGT")
+        assert built.backbone_sequence() == "ACGT"
+
+    def test_variant_at_reference_end(self):
+        built = build_graph("ACGT", [Variant(3, 4, "A")])
+        assert _spells(built.graph, "ACGA")
+
+    def test_whole_reference_deletion_at_boundary(self):
+        built = build_graph("ACGT", [Variant(0, 2, "")])
+        assert _spells(built.graph, "GT")
+
+    def test_duplicate_variants_deduped(self):
+        built = build_graph("ACGTACGT", [Variant(3, 4, "G"),
+                                         Variant(3, 4, "G")])
+        assert len(built.alt_nodes) == 1
+
+    def test_variant_exceeding_reference_rejected(self):
+        with pytest.raises(VariantError):
+            build_graph("ACGT", [Variant(2, 9, "A")])
+
+    def test_vcf_records_accepted(self):
+        built = build_graph("ACGTACGT", [VcfRecord("c", 4, "T", "G")])
+        assert _spells(built.graph, "ACGGACGT")
+
+    def test_result_is_topologically_sorted(self):
+        built = build_graph("ACGTACGT" * 4,
+                            [Variant(3, 4, "G"), Variant(10, 12, ""),
+                             Variant(20, 20, "ACGT")])
+        assert built.graph.is_topologically_sorted()
+        built.graph.validate()
+
+    def test_ref_positions_projection(self):
+        built = build_graph("ACGTACGT", [Variant(3, 4, "G")])
+        for node in built.backbone:
+            position = built.ref_positions[node]
+            length = len(built.graph.sequence_of(node))
+            assert built.backbone_sequence()[position:position + length] \
+                == built.graph.sequence_of(node)
+
+
+def _spells(graph, target: str) -> bool:
+    """True if some path (starting at any node) spells ``target``.
+
+    Paths may start mid-graph: a deletion at the reference start is
+    expressed by a path whose first node has predecessors.
+    """
+    stack = [(s, "") for s in range(graph.node_count)]
+    while stack:
+        node, prefix = stack.pop()
+        spelled = prefix + graph.sequence_of(node)
+        if spelled == target:
+            return True
+        if len(spelled) < len(target) and \
+                target.startswith(spelled):
+            for succ in graph.successors(node):
+                stack.append((succ, spelled))
+    return False
+
+
+class TestBuildProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_random_variant_sets_build_valid_graphs(self, seed):
+        rng = random.Random(seed)
+        reference = random_reference(rng.randint(50, 400), rng)
+        profile = VariantProfile(
+            snp_rate=0.05, insertion_rate=0.02, deletion_rate=0.02,
+            sv_rate=0.005, sv_min=5, sv_max=20, small_indel_max=4,
+        )
+        variants = simulate_variants(reference, rng, profile)
+        built = build_graph(reference, variants)
+        built.graph.validate()
+        assert built.graph.is_topologically_sorted()
+        assert built.backbone_sequence() == reference
+        # The fully-varied haplotype is spelled by some path.
+        haplotype = apply_variants(reference, variants)
+        assert _spells(built.graph, haplotype)

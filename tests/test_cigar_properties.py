@@ -1,0 +1,43 @@
+"""Property tests for CIGAR composition — the windowing merge's
+foundation."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.alignment import Cigar
+
+ops_strategy = st.lists(st.sampled_from("=XID"), min_size=0,
+                        max_size=40)
+
+
+class TestConcatProperties:
+    @given(ops_strategy, ops_strategy)
+    def test_concat_equals_flat_concatenation(self, left, right):
+        merged = Cigar.from_ops(left).concat(Cigar.from_ops(right))
+        assert merged == Cigar.from_ops(left + right)
+
+    @given(ops_strategy, ops_strategy)
+    def test_concat_preserves_counts(self, left, right):
+        a, b = Cigar.from_ops(left), Cigar.from_ops(right)
+        merged = a.concat(b)
+        assert merged.edit_distance == a.edit_distance + b.edit_distance
+        assert merged.read_consumed == a.read_consumed + b.read_consumed
+        assert merged.ref_consumed == a.ref_consumed + b.ref_consumed
+
+    @given(ops_strategy, ops_strategy, ops_strategy)
+    def test_concat_associative(self, a, b, c):
+        x, y, z = (Cigar.from_ops(ops) for ops in (a, b, c))
+        assert x.concat(y).concat(z) == x.concat(y.concat(z))
+
+    @given(ops_strategy)
+    def test_string_roundtrip(self, ops):
+        cigar = Cigar.from_ops(ops)
+        assert Cigar.from_string(str(cigar)) == cigar
+
+    @given(ops_strategy)
+    def test_runs_are_maximal(self, ops):
+        cigar = Cigar.from_ops(ops)
+        for (op1, _), (op2, _) in zip(cigar.ops, cigar.ops[1:]):
+            assert op1 != op2

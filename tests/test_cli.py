@@ -1,0 +1,161 @@
+"""End-to-end tests of the command-line interface.
+
+These are the integration tests of the whole pipeline: FASTA + VCF on
+disk -> construct -> GFA -> index/stats, and FASTA + reads -> map ->
+GAF/SAM, all through the public CLI.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cli import main
+from repro.graph.gfa import read_gfa
+from repro.io.fasta import FastaRecord, FastqRecord, write_fasta, \
+    write_fastq
+from repro.io.gaf import read_gaf
+from repro.io.sam import read_sam
+from repro.io.vcf import VcfRecord, write_vcf
+from repro.sim.reference import random_reference
+
+
+@pytest.fixture(scope="module")
+def workspace(tmp_path_factory):
+    root = tmp_path_factory.mktemp("cli")
+    rng = random.Random(5)
+    reference = random_reference(8_000, rng)
+    write_fasta(root / "ref.fa", [FastaRecord("chr1", reference)])
+    snp_pos = 500
+    alt = "G" if reference[snp_pos] != "G" else "C"
+    write_vcf(root / "vars.vcf", [
+        VcfRecord("chr1", snp_pos + 1, reference[snp_pos], alt),
+        VcfRecord("chr1", 1_001,
+                  reference[1_000:1_004], reference[1_000]),
+    ])
+    reads = [
+        FastqRecord(f"read{i}",
+                    reference[i * 1_500:i * 1_500 + 300],
+                    "I" * 300)
+        for i in range(1, 4)
+    ]
+    write_fastq(root / "reads.fq", reads)
+    return root, reference, alt, snp_pos
+
+
+class TestConstruct:
+    def test_builds_gfa(self, workspace, capsys):
+        root, reference, _, _ = workspace
+        code = main([
+            "construct", "--reference", str(root / "ref.fa"),
+            "--vcf", str(root / "vars.vcf"),
+            "--output", str(root / "graph.gfa"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "nodes" in out
+        graph = read_gfa(root / "graph.gfa")
+        assert graph.total_sequence_length > len(reference)  # alt node
+
+    def test_without_vcf_linear_graph(self, workspace, capsys):
+        root, reference, _, _ = workspace
+        code = main([
+            "construct", "--reference", str(root / "ref.fa"),
+            "--output", str(root / "linear.gfa"),
+            "--max-node-length", "1000",
+        ])
+        assert code == 0
+        graph = read_gfa(root / "linear.gfa")
+        assert graph.total_sequence_length == len(reference)
+        assert graph.node_count == 8
+
+
+class TestIndexAndStats:
+    def test_index_prints_levels(self, workspace, capsys):
+        root, *_ = workspace
+        main(["construct", "--reference", str(root / "ref.fa"),
+              "--vcf", str(root / "vars.vcf"),
+              "--output", str(root / "graph.gfa")])
+        capsys.readouterr()
+        code = main(["index", "--graph", str(root / "graph.gfa")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "buckets" in out
+        assert "minimizers" in out
+
+    def test_stats_prints_hop_profile(self, workspace, capsys):
+        root, *_ = workspace
+        main(["construct", "--reference", str(root / "ref.fa"),
+              "--vcf", str(root / "vars.vcf"),
+              "--output", str(root / "graph.gfa")])
+        capsys.readouterr()
+        code = main(["stats", "--graph", str(root / "graph.gfa")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "hop coverage @ limit 12" in out
+
+
+class TestMap:
+    def test_map_to_gaf(self, workspace, capsys):
+        root, *_ = workspace
+        code = main([
+            "map", "--reference", str(root / "ref.fa"),
+            "--vcf", str(root / "vars.vcf"),
+            "--reads", str(root / "reads.fq"),
+            "--output", str(root / "out.gaf"),
+            "--error-rate", "0.02",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mapped 3/3" in out
+        records = read_gaf(root / "out.gaf")
+        assert len(records) == 3
+        assert all(r.matches == r.query_length for r in records)
+
+    def test_map_to_sam(self, workspace, capsys):
+        root, reference, _, _ = workspace
+        code = main([
+            "map", "--reference", str(root / "ref.fa"),
+            "--reads", str(root / "reads.fq"),
+            "--output", str(root / "out.sam"),
+            "--format", "sam",
+            "--error-rate", "0.02",
+        ])
+        assert code == 0
+        records = read_sam(root / "out.sam")
+        assert len(records) == 3
+        for i, record in enumerate(records, start=1):
+            assert record.pos == i * 1_500 + 1  # exact origin, 1-based
+            assert record.edit_distance == 0
+
+    def test_map_fasta_reads(self, workspace, capsys, tmp_path):
+        root, reference, _, _ = workspace
+        write_fasta(tmp_path / "reads.fa",
+                    [FastaRecord("fa_read", reference[2_000:2_200])])
+        code = main([
+            "map", "--reference", str(root / "ref.fa"),
+            "--reads", str(tmp_path / "reads.fa"),
+            "--output", str(tmp_path / "out.gaf"),
+        ])
+        assert code == 0
+        assert len(read_gaf(tmp_path / "out.gaf")) == 1
+
+
+class TestModel:
+    def test_workload_report(self, capsys):
+        code = main(["model", "--workload", "pacbio"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "35.9 us" in out
+        assert "reads/s" in out
+
+    def test_table1(self, capsys):
+        code = main(["model", "--table1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "hop queue" in out
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,34 @@
+"""Tests for the CLI hardware-model subcommand variants."""
+
+from __future__ import annotations
+
+from repro.cli import main
+
+
+class TestModelSubcommand:
+    def test_ont_workload(self, capsys):
+        assert main(["model", "--workload", "ont"]) == 0
+        out = capsys.readouterr().out
+        assert "ONT-10%" in out
+        assert "37.5 us" in out
+
+    def test_illumina_workload(self, capsys):
+        assert main(["model", "--workload", "illumina",
+                     "--read-length", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "Illumina-100bp" in out
+
+    def test_custom_error_rate(self, capsys):
+        assert main(["model", "--workload", "pacbio",
+                     "--error-rate", "0.08"]) == 0
+        out = capsys.readouterr().out
+        assert "PacBio-8%" in out
+
+    def test_throughput_consistency_with_model(self, capsys):
+        from repro.hw.pipeline import SeGraMPerformanceModel, \
+            WorkloadProfile
+        main(["model", "--workload", "pacbio"])
+        out = capsys.readouterr().out
+        expected = SeGraMPerformanceModel().reads_per_second(
+            WorkloadProfile.pacbio(0.05))
+        assert f"{expected:,.0f} reads/s" in out

@@ -1,0 +1,100 @@
+"""Tests for result reporting and evaluation metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.mapper import MappingResult
+from repro.eval.metrics import MappingAccuracy, evaluate_linear_mappings
+from repro.eval.report import format_ratio, format_table
+from repro.sim.longread import SimulatedLinearRead
+
+
+class TestFormatTable:
+    def test_columns_aligned(self):
+        rows = [{"a": 1, "b": "xx"}, {"a": 22, "b": "y"}]
+        text = format_table(rows, title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("a")
+        assert "22" in lines[-1]
+
+    def test_empty_rows(self):
+        assert "(no rows)" in format_table([], title="T")
+
+    def test_none_rendered_as_dash(self):
+        text = format_table([{"a": None}])
+        assert "-" in text
+
+    def test_float_formatting(self):
+        text = format_table([{"v": 0.123456}, {"v": 12.3456},
+                             {"v": 12345.6}])
+        assert "0.123" in text
+        assert "12.3" in text
+        assert "12,346" in text
+
+    def test_large_int_thousands_separator(self):
+        assert "1,000,000" in format_table([{"v": 1_000_000}])
+
+    def test_explicit_columns_subset(self):
+        rows = [{"a": 1, "b": 2, "c": 3}]
+        text = format_table(rows, columns=["a", "c"])
+        assert "b" not in text.splitlines()[0]
+
+    def test_format_ratio(self):
+        text = format_ratio(2.0, 4.0)
+        assert "0.50x of paper" in text
+        assert format_ratio(1.0, 0.0).endswith("(paper: 0)")
+
+
+def _result(mapped: bool, position: int | None = None) -> MappingResult:
+    return MappingResult(read_name="r", read_length=100, mapped=mapped,
+                         distance=0 if mapped else None,
+                         linear_position=position)
+
+
+def _truth(start: int) -> SimulatedLinearRead:
+    return SimulatedLinearRead(name="r", sequence="A" * 100,
+                               ref_start=start, ref_end=start + 100,
+                               errors=0)
+
+
+class TestMetrics:
+    def test_all_correct(self):
+        results = [_result(True, 100), _result(True, 205)]
+        truths = [_truth(100), _truth(200)]
+        accuracy = evaluate_linear_mappings(results, truths,
+                                            tolerance=10)
+        assert accuracy.sensitivity == 1.0
+        assert accuracy.precision == 1.0
+        assert accuracy.mapping_rate == 1.0
+
+    def test_wrong_position_counts_against_sensitivity(self):
+        results = [_result(True, 5_000)]
+        truths = [_truth(100)]
+        accuracy = evaluate_linear_mappings(results, truths)
+        assert accuracy.mapped == 1
+        assert accuracy.correct == 0
+        assert accuracy.precision == 0.0
+
+    def test_unmapped(self):
+        accuracy = evaluate_linear_mappings([_result(False)],
+                                            [_truth(0)])
+        assert accuracy.mapping_rate == 0.0
+        assert accuracy.sensitivity == 0.0
+
+    def test_missing_projection_not_correct(self):
+        accuracy = evaluate_linear_mappings([_result(True, None)],
+                                            [_truth(0)])
+        assert accuracy.mapped == 1
+        assert accuracy.correct == 0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_linear_mappings([_result(True, 0)], [])
+
+    def test_empty_accuracy(self):
+        accuracy = MappingAccuracy(total=0, mapped=0, correct=0)
+        assert accuracy.mapping_rate == 0.0
+        assert accuracy.sensitivity == 0.0
+        assert accuracy.precision == 0.0

@@ -1,0 +1,84 @@
+"""Tests for the experiment drivers (fast, model-based ones).
+
+The benchmarks exercise these too; testing them here keeps
+``pytest tests/`` self-sufficient and pins the headline numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import experiments as ex
+from repro.eval.report import format_table
+
+
+class TestModelDrivers:
+    def test_fig15_rows(self):
+        rows = ex.fig15_long_reads()
+        assert len(rows) == 4
+        for row in rows:
+            assert row["SeGraM_reads_per_s (model)"] > \
+                row["vg_reads_per_s (derived)"] > \
+                row["GraphAligner_reads_per_s (derived)"]
+
+    def test_fig16_rows(self):
+        rows = ex.fig16_short_reads()
+        assert [r["dataset"] for r in rows] == \
+            ["Illumina-100bp", "Illumina-150bp", "Illumina-250bp"]
+        for row in rows:
+            assert row["GraphAligner_reads_per_s (derived)"] > \
+                row["vg_reads_per_s (derived)"]
+
+    def test_hga_rows(self):
+        rows = ex.hga_comparison()
+        speedups = [r["speedup (paper)"] for r in rows]
+        assert speedups == sorted(speedups, reverse=True)
+
+    def test_fig17_model_rows(self):
+        rows = ex.fig17_pasgal_model()
+        assert len(rows) == 4
+        for row in rows:
+            assert row["PaSGAL_ms (derived)"] == pytest.approx(
+                row["BitAlign_ms (model)"] * row["speedup (paper)"])
+
+    def test_genasm_rows_pin_anchors(self):
+        rows = ex.genasm_window_cycles()
+        assert rows[0]["cycles_per_window (model)"] == 169
+        assert rows[1]["cycles_per_window (model)"] == 272
+
+    def test_s2s_rows(self):
+        rows = ex.s2s_accelerators()
+        assert {r["accelerator"] for r in rows} == \
+            {"GACT (Darwin)", "SillaX (GenAx)", "GenASM"}
+
+    def test_table1_rows_render(self):
+        rows = ex.table1_area_power()
+        text = format_table(rows, title="t1")
+        assert "hop queue" in text
+
+    def test_fig7_rows(self):
+        rows = ex.fig7_bucket_sweep(bucket_bits=(8, 12))
+        live = [r for r in rows if r["series"].startswith("live")]
+        assert len(live) == 2
+        assert live[0]["footprint_mb"] < live[1]["footprint_mb"]
+
+    def test_fig13_rows(self):
+        rows = ex.fig13_hop_limit(limits=(2, 12))
+        coverage = {r["hop_limit"]: r["fraction_of_hops_covered"]
+                    for r in rows}
+        assert coverage[12] >= coverage[2]
+        assert coverage[12] > 0.99
+
+
+class TestDatasetCache:
+    def test_cached_datasets_are_reused(self):
+        first = ex._human()
+        second = ex._human()
+        assert first is second
+
+    def test_dataset_determinism(self):
+        from repro.eval.datasets import brca1_like_graph
+        a = brca1_like_graph(length=5_000, seed=1)
+        b = brca1_like_graph(length=5_000, seed=1)
+        assert a.reference == b.reference
+        assert a.graph.node_count == b.graph.node_count

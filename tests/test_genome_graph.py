@@ -1,0 +1,197 @@
+"""Tests for the genome graph data structure and memory layout."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.genome_graph import (
+    CycleError,
+    GenomeGraph,
+    GraphError,
+    NODE_TABLE_ENTRY_BYTES,
+)
+
+
+def diamond() -> GenomeGraph:
+    """ACG -> T / G -> ACGT (the Fig. 1 style bubble)."""
+    graph = GenomeGraph("diamond")
+    a = graph.add_node("ACG")
+    b = graph.add_node("T")
+    c = graph.add_node("G")
+    d = graph.add_node("ACGT")
+    graph.add_edge(a, b)
+    graph.add_edge(a, c)
+    graph.add_edge(b, d)
+    graph.add_edge(c, d)
+    return graph
+
+
+class TestConstruction:
+    def test_counts(self):
+        graph = diamond()
+        assert graph.node_count == 4
+        assert graph.edge_count == 4
+        assert graph.total_sequence_length == 9
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(GraphError):
+            GenomeGraph().add_node("")
+
+    def test_invalid_base_rejected(self):
+        with pytest.raises(Exception):
+            GenomeGraph().add_node("ACGN")
+
+    def test_self_loop_rejected(self):
+        graph = GenomeGraph()
+        n = graph.add_node("A")
+        with pytest.raises(GraphError):
+            graph.add_edge(n, n)
+
+    def test_duplicate_edge_idempotent(self):
+        graph = GenomeGraph()
+        a, b = graph.add_node("A"), graph.add_node("C")
+        graph.add_edge(a, b)
+        graph.add_edge(a, b)
+        assert graph.edge_count == 1
+
+    def test_unknown_node_rejected(self):
+        graph = GenomeGraph()
+        graph.add_node("A")
+        with pytest.raises(GraphError):
+            graph.add_edge(0, 5)
+
+    def test_from_linear_single_node(self):
+        graph = GenomeGraph.from_linear("ACGTACGT")
+        assert graph.node_count == 1
+        assert graph.edge_count == 0
+
+    def test_from_linear_chunked(self):
+        graph = GenomeGraph.from_linear("ACGTACGTAC", node_length=4)
+        assert graph.node_count == 3
+        assert graph.edge_count == 2
+        assert graph.spell_path([0, 1, 2]) == "ACGTACGTAC"
+
+    def test_from_linear_empty_rejected(self):
+        with pytest.raises(GraphError):
+            GenomeGraph.from_linear("")
+
+
+class TestTopology:
+    def test_diamond_is_sorted(self):
+        assert diamond().is_topologically_sorted()
+
+    def test_unsorted_graph_detected_and_fixed(self):
+        graph = GenomeGraph()
+        a = graph.add_node("A")
+        b = graph.add_node("C")
+        graph.add_edge(b, a)  # backward edge
+        assert not graph.is_topologically_sorted()
+        fixed = graph.topologically_sorted()
+        assert fixed.is_topologically_sorted()
+        assert fixed.node_count == 2
+        # Sequence content preserved.
+        assert sorted(n.sequence for n in fixed.nodes()) == ["A", "C"]
+
+    def test_cycle_detected(self):
+        graph = GenomeGraph()
+        a, b = graph.add_node("A"), graph.add_node("C")
+        graph.add_edge(a, b)
+        graph.add_edge(b, a)
+        with pytest.raises(CycleError):
+            graph.topological_order()
+
+    def test_validate_passes_on_diamond(self):
+        diamond().validate()
+
+    def test_topological_order_deterministic(self):
+        graph = diamond()
+        assert graph.topological_order() == graph.topological_order()
+
+
+class TestCoordinates:
+    def test_offsets(self):
+        graph = diamond()
+        assert graph.offsets() == [0, 3, 4, 5]
+
+    def test_node_at_offset(self):
+        graph = diamond()
+        assert graph.node_at_offset(0) == (0, 0)
+        assert graph.node_at_offset(2) == (0, 2)
+        assert graph.node_at_offset(3) == (1, 0)
+        assert graph.node_at_offset(8) == (3, 3)
+
+    def test_node_at_offset_out_of_range(self):
+        with pytest.raises(GraphError):
+            diamond().node_at_offset(9)
+        with pytest.raises(GraphError):
+            diamond().node_at_offset(-1)
+
+
+class TestPaths:
+    def test_spell_path(self):
+        graph = diamond()
+        assert graph.spell_path([0, 1, 3]) == "ACGTACGT"
+        assert graph.spell_path([0, 2, 3]) == "ACGGACGT"
+
+    def test_spell_path_invalid_edge(self):
+        with pytest.raises(GraphError):
+            diamond().spell_path([0, 3])
+
+    def test_spell_empty_path(self):
+        assert diamond().spell_path([]) == ""
+
+
+class TestExtraction:
+    def test_extract_region_full(self):
+        graph = diamond()
+        sub, ids = graph.extract_region(0, 9)
+        assert sub.node_count == 4
+        assert ids == [0, 1, 2, 3]
+        assert sub.edge_count == 4
+
+    def test_extract_region_partial(self):
+        graph = diamond()
+        sub, ids = graph.extract_region(3, 5)  # nodes 1 (T) and 2 (G)
+        assert ids == [1, 2]
+        assert sub.edge_count == 0  # edge into node 3 clipped
+
+    def test_extract_region_overlapping_node_kept_whole(self):
+        graph = diamond()
+        sub, ids = graph.extract_region(1, 4)
+        assert 0 in ids  # node 0 overlaps [1, 3)
+        assert sub.sequence_of(0) == "ACG"
+
+    def test_extract_empty_region_rejected(self):
+        with pytest.raises(GraphError):
+            diamond().extract_region(4, 4)
+
+    def test_extracted_region_stays_sorted(self, small_graph):
+        sub, _ = small_graph.extract_region(100, 500)
+        assert sub.is_topologically_sorted()
+
+
+class TestTables:
+    def test_layout_matches_paper_fig5(self):
+        graph = diamond()
+        tables = graph.tables()
+        # Node table: length, char start, out-degree, edge start.
+        assert tables.node_table[0].tolist() == [3, 0, 2, 0]
+        assert tables.node_table[1].tolist() == [1, 3, 1, 2]
+        assert tables.node_table[3].tolist() == [4, 5, 0, 4]
+        # Character table: 2-bit codes of ACG T G ACGT.
+        assert tables.char_table.tolist() == \
+            [0, 1, 2, 3, 2, 0, 1, 2, 3]
+        # Edge table: destinations grouped by source.
+        assert tables.edge_table.tolist() == [1, 2, 3, 3]
+
+    def test_footprint_formulas(self):
+        graph = diamond()
+        tables = graph.tables()
+        assert tables.node_table_bytes == 4 * NODE_TABLE_ENTRY_BYTES
+        assert tables.edge_table_bytes == 4 * 4
+        # 9 characters at 2 bits = 18 bits -> 3 bytes.
+        assert tables.char_table_bytes == 3
+        assert tables.total_bytes == 128 + 16 + 3
+
+    def test_repr_mentions_counts(self):
+        assert "nodes=4" in repr(diamond())

@@ -1,0 +1,113 @@
+"""Tests for the cycle-level accelerator simulator."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graph.genome_graph import GenomeGraph
+from repro.graph.linearize import linearize
+from repro.hw.bitalign_unit import BitAlignCycleModel
+from repro.hw.config import BitAlignUnitConfig, SeGraMSystemConfig
+from repro.hw.simulator import SeGraMAcceleratorSim
+from repro.sim.errors import ErrorModel, apply_errors
+from repro.sim.reference import random_reference
+
+
+@pytest.fixture(scope="module")
+def chain_3kb():
+    rng = random.Random(42)
+    text = random_reference(4_000, rng)
+    return text, linearize(GenomeGraph.from_linear(text,
+                                                   node_length=256))
+
+
+class TestSimulator:
+    def test_functional_result_unchanged_by_simulation(self, chain_3kb):
+        text, lin = chain_3kb
+        read = text[500:1_500]
+        sim = SeGraMAcceleratorSim()
+        result, trace = sim.run_seed_task(lin, read, anchor=(500, 0))
+        assert result.distance == 0
+        assert trace.windows_executed > 0
+
+    def test_cycles_close_to_analytical_model(self, chain_3kb):
+        """The simulator and the spreadsheet model must agree on the
+        paper's design point for a clean exact read (within 15 %)."""
+        text, lin = chain_3kb
+        read = text[200:3_200]  # 3 kbp exact read
+        sim = SeGraMAcceleratorSim()
+        _, trace = sim.run_seed_task(lin, read, anchor=(200, 0))
+        analytical = BitAlignCycleModel().alignment_cycles(len(read))
+        assert trace.compute_cycles == \
+            pytest.approx(analytical, rel=0.15)
+
+    def test_window_count_matches_model(self, chain_3kb):
+        text, lin = chain_3kb
+        read = text[200:3_200]
+        sim = SeGraMAcceleratorSim()
+        _, trace = sim.run_seed_task(lin, read, anchor=(200, 0))
+        assert trace.windows_executed == \
+            BitAlignCycleModel().window_count(len(read))
+
+    def test_noisy_reads_cost_more_cycles(self, chain_3kb):
+        """Data-dependence the analytical model folds into its
+        overhead term: noise can trigger rescues, never fewer
+        cycles."""
+        text, lin = chain_3kb
+        rng = random.Random(7)
+        fragment = text[200:2_200]
+        noisy, _ = apply_errors(fragment, ErrorModel.nanopore(0.12), rng)
+        sim = SeGraMAcceleratorSim()
+        _, clean_trace = sim.run_seed_task(lin, fragment,
+                                           anchor=(200, 0))
+        _, noisy_trace = sim.run_seed_task(lin, noisy, anchor=(200, 0))
+        assert noisy_trace.total_cycles >= \
+            clean_trace.total_cycles * 0.9
+
+    def test_memory_stall_charged(self, chain_3kb):
+        text, lin = chain_3kb
+        sim = SeGraMAcceleratorSim()
+        _, trace = sim.run_seed_task(lin, text[100:400],
+                                     anchor=(100, 0))
+        assert trace.memory_stall_cycles > 0
+
+    def test_bitvector_traffic_counted(self, chain_3kb):
+        text, lin = chain_3kb
+        sim = SeGraMAcceleratorSim()
+        _, trace = sim.run_seed_task(lin, text[100:400],
+                                     anchor=(100, 0))
+        # Each window writes (k+1) x chunk bitvectors of 16 B.
+        assert trace.bitvector_bytes_written > 0
+        assert trace.bitvector_bytes_written % 16 == 0
+
+    def test_hops_generate_queue_reads(self):
+        from repro.graph.builder import Variant, build_graph
+        built = build_graph("ACGTACGTACGTACGTACGTACGT" * 8,
+                            [Variant(20, 21, "C"), Variant(50, 53, "")])
+        lin = linearize(built.graph)
+        sim = SeGraMAcceleratorSim()
+        read = built.backbone_sequence()[10:80]
+        _, trace = sim.run_seed_task(lin, read, anchor=(10, 0))
+        assert trace.hop_queue_reads > 0
+
+    def test_hop_queue_capacity_check(self):
+        from repro.graph.builder import Variant, build_graph
+        # A 30-base deletion: one hop of length 31, beyond depth 12.
+        built = build_graph("A" * 20 + "C" * 30 + "G" * 20,
+                            [Variant(20, 50, "")])
+        lin = linearize(built.graph)
+        sim = SeGraMAcceleratorSim()
+        coverage = sim.hop_queue_capacity_ok(lin)
+        assert coverage < 1.0
+        deep = SeGraMAcceleratorSim(SeGraMSystemConfig(
+            bitalign=BitAlignUnitConfig(hop_queue_depth=64),
+        ))
+        assert deep.hop_queue_capacity_ok(lin) == 1.0
+
+    def test_windowing_config_derived_from_hw(self):
+        sim = SeGraMAcceleratorSim()
+        config = sim.windowing_config()
+        assert config.window_size == 128
+        assert config.overlap == 48

@@ -1,0 +1,122 @@
+"""Tests for FASTA/FASTQ reading and writing."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.io.fasta import (
+    FastaFormatError,
+    FastaRecord,
+    FastqRecord,
+    read_fasta,
+    read_fastq,
+    write_fasta,
+    write_fastq,
+)
+
+dna = st.text(alphabet="ACGT", min_size=1, max_size=300)
+names = st.text(
+    alphabet=st.characters(min_codepoint=33, max_codepoint=126,
+                           exclude_characters=">@ "),
+    min_size=1, max_size=20,
+)
+
+
+class TestFastaRead:
+    def test_single_record(self):
+        handle = io.StringIO(">chr1 test chromosome\nACGT\nACGT\n")
+        records = read_fasta(handle)
+        assert len(records) == 1
+        assert records[0].name == "chr1"
+        assert records[0].description == "test chromosome"
+        assert records[0].sequence == "ACGTACGT"
+
+    def test_multi_record(self):
+        handle = io.StringIO(">a\nAC\n>b\nGT\n")
+        records = read_fasta(handle)
+        assert [r.name for r in records] == ["a", "b"]
+        assert [r.sequence for r in records] == ["AC", "GT"]
+
+    def test_blank_lines_ignored(self):
+        handle = io.StringIO(">a\n\nAC\n\nGT\n")
+        assert read_fasta(handle)[0].sequence == "ACGT"
+
+    def test_sequence_before_header_rejected(self):
+        with pytest.raises(FastaFormatError):
+            read_fasta(io.StringIO("ACGT\n>a\nAC\n"))
+
+    def test_empty_header_rejected(self):
+        with pytest.raises(FastaFormatError):
+            read_fasta(io.StringIO(">\nACGT\n"))
+
+    def test_empty_file(self):
+        assert read_fasta(io.StringIO("")) == []
+
+
+class TestFastaRoundtrip:
+    @given(st.lists(st.tuples(names, dna), min_size=1, max_size=5,
+                    unique_by=lambda t: t[0]))
+    def test_write_read_roundtrip(self, items):
+        records = [FastaRecord(name, sequence) for name, sequence in items]
+        buffer = io.StringIO()
+        write_fasta(buffer, records, line_width=60)
+        buffer.seek(0)
+        parsed = read_fasta(buffer)
+        assert [(r.name, r.sequence) for r in parsed] == items
+
+    def test_line_width_respected(self):
+        buffer = io.StringIO()
+        write_fasta(buffer, [FastaRecord("a", "A" * 100)], line_width=25)
+        lines = buffer.getvalue().splitlines()
+        assert lines[0] == ">a"
+        assert all(len(line) == 25 for line in lines[1:])
+
+    def test_nonpositive_line_width_rejected(self):
+        with pytest.raises(ValueError):
+            write_fasta(io.StringIO(), [], line_width=0)
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "ref.fa"
+        write_fasta(path, [FastaRecord("chr1", "ACGTACGT", "desc here")])
+        records = read_fasta(path)
+        assert records[0].description == "desc here"
+        assert records[0].sequence == "ACGTACGT"
+
+
+class TestFastq:
+    def test_read_single(self):
+        handle = io.StringIO("@r1\nACGT\n+\nIIII\n")
+        records = read_fastq(handle)
+        assert records[0].name == "r1"
+        assert records[0].sequence == "ACGT"
+        assert records[0].quality == "IIII"
+
+    def test_quality_length_mismatch_rejected(self):
+        with pytest.raises(FastaFormatError):
+            read_fastq(io.StringIO("@r1\nACGT\n+\nII\n"))
+
+    def test_missing_plus_rejected(self):
+        with pytest.raises(FastaFormatError):
+            read_fastq(io.StringIO("@r1\nACGT\nIIII\nIIII\n"))
+
+    def test_missing_at_rejected(self):
+        with pytest.raises(FastaFormatError):
+            read_fastq(io.StringIO("r1\nACGT\n+\nIIII\n"))
+
+    @given(st.lists(st.tuples(names, dna), min_size=1, max_size=4))
+    def test_roundtrip(self, items):
+        records = [FastqRecord(name, sequence, "I" * len(sequence))
+                   for name, sequence in items]
+        buffer = io.StringIO()
+        write_fastq(buffer, records)
+        buffer.seek(0)
+        parsed = read_fastq(buffer)
+        assert [(r.name, r.sequence, r.quality) for r in parsed] == \
+            [(r.name, r.sequence, r.quality) for r in records]
+
+    def test_len(self):
+        assert len(FastqRecord("r", "ACGT", "IIII")) == 4

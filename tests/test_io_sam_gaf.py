@@ -1,0 +1,174 @@
+"""Tests for SAM and GAF mapping-output formats."""
+
+from __future__ import annotations
+
+import io
+import random
+
+import pytest
+
+from repro.core.mapper import SeGraM, SeGraMConfig
+from repro.core.windows import WindowingConfig
+from repro.io.gaf import (
+    GafFormatError,
+    read_gaf,
+    result_to_gaf,
+    validate_gaf_record,
+    write_gaf,
+)
+from repro.io.sam import (
+    FLAG_UNMAPPED,
+    SamFormatError,
+    SamRecord,
+    read_sam,
+    result_to_sam,
+    validate_sam_record,
+    write_sam,
+)
+from repro.sim.reference import random_reference
+from repro.sim.variants import VariantProfile, simulate_variants
+
+
+@pytest.fixture(scope="module")
+def mapped_results():
+    rng = random.Random(64)
+    reference = random_reference(20_000, rng)
+    variants = simulate_variants(
+        reference, rng,
+        VariantProfile(snp_rate=0.003, insertion_rate=0.0005,
+                       deletion_rate=0.0005, sv_rate=0.0),
+    )
+    mapper = SeGraM.from_reference(
+        reference, variants,
+        config=SeGraMConfig(
+            w=10, k=15, bucket_bits=12, error_rate=0.02,
+            windowing=WindowingConfig(window_size=128, overlap=48,
+                                      k=16),
+            max_seeds_per_read=4,
+        ),
+        max_node_length=2_000,
+    )
+    reads = [(f"r{i}", reference[i * 900:i * 900 + 200])
+             for i in range(1, 6)]
+    results = [(mapper.map_read(seq, name), seq)
+               for name, seq in reads]
+    return mapper, reference, results
+
+
+class TestSam:
+    def test_mapped_record_fields(self, mapped_results):
+        _, reference, results = mapped_results
+        result, seq = results[0]
+        record = result_to_sam(result, seq, "chr1")
+        assert record.rname == "chr1"
+        assert record.pos == result.linear_position + 1
+        assert not record.is_unmapped
+        validate_sam_record(record)
+
+    def test_unmapped_record(self):
+        from repro.core.mapper import MappingResult
+        result = MappingResult(read_name="r", read_length=4,
+                               mapped=False)
+        record = result_to_sam(result, "ACGT", "chr1")
+        assert record.is_unmapped
+        assert record.flag & FLAG_UNMAPPED
+        assert record.cigar == "*"
+
+    def test_roundtrip(self, mapped_results, tmp_path):
+        _, reference, results = mapped_results
+        records = [result_to_sam(r, seq, "chr1")
+                   for r, seq in results]
+        path = tmp_path / "out.sam"
+        write_sam(path, records, "chr1", len(reference))
+        parsed = read_sam(path)
+        assert parsed == records
+
+    def test_header_written(self, mapped_results):
+        _, reference, results = mapped_results
+        buffer = io.StringIO()
+        write_sam(buffer, [], "chr1", len(reference))
+        text = buffer.getvalue()
+        assert "@HD" in text
+        assert f"LN:{len(reference)}" in text
+
+    def test_nm_tag_mismatch_rejected(self):
+        record = SamRecord(qname="r", flag=0, rname="chr1", pos=1,
+                           mapq=60, cigar="4=", seq="ACGT",
+                           edit_distance=2)
+        with pytest.raises(SamFormatError):
+            validate_sam_record(record)
+
+    def test_cigar_seq_mismatch_rejected(self):
+        record = SamRecord(qname="r", flag=0, rname="chr1", pos=1,
+                           mapq=60, cigar="3=", seq="ACGT")
+        with pytest.raises(SamFormatError):
+            validate_sam_record(record)
+
+    def test_short_line_rejected(self):
+        with pytest.raises(SamFormatError):
+            read_sam(io.StringIO("r1\t0\tchr1\n"))
+
+
+class TestGaf:
+    def test_mapped_record(self, mapped_results):
+        mapper, _, results = mapped_results
+        result, seq = results[0]
+        record = result_to_gaf(result, mapper.graph, seq)
+        assert record is not None
+        assert record.query_length == len(seq)
+        assert record.path == result.path_nodes
+        validate_gaf_record(record, mapper.graph)
+
+    def test_unmapped_returns_none(self, mapped_results):
+        from repro.core.mapper import MappingResult
+        mapper, _, _ = mapped_results
+        result = MappingResult(read_name="r", read_length=4,
+                               mapped=False)
+        assert result_to_gaf(result, mapper.graph, "ACGT") is None
+
+    def test_roundtrip(self, mapped_results, tmp_path):
+        mapper, _, results = mapped_results
+        records = [result_to_gaf(r, mapper.graph, seq)
+                   for r, seq in results]
+        records = [r for r in records if r is not None]
+        path = tmp_path / "out.gaf"
+        write_gaf(path, records)
+        parsed = read_gaf(path)
+        assert parsed == records
+
+    def test_path_string_format(self, mapped_results):
+        mapper, _, results = mapped_results
+        record = result_to_gaf(results[0][0], mapper.graph,
+                               results[0][1])
+        assert record.path_string.startswith(">")
+        assert record.path_string.count(">") == len(record.path)
+
+    def test_validation_rejects_bad_edge(self, mapped_results):
+        mapper, _, results = mapped_results
+        record = result_to_gaf(results[0][0], mapper.graph,
+                               results[0][1])
+        bad = type(record)(
+            query_name=record.query_name,
+            query_length=record.query_length,
+            path=(0, mapper.graph.node_count - 1)
+            if mapper.graph.node_count - 1 not in
+            mapper.graph.successors(0) else (0, 0),
+            path_length=record.path_length,
+            path_start=record.path_start,
+            path_end=record.path_end,
+            matches=record.matches,
+            block_length=record.block_length,
+            mapq=record.mapq,
+            cigar=record.cigar,
+        )
+        with pytest.raises(GafFormatError):
+            validate_gaf_record(bad, mapper.graph)
+
+    def test_reverse_path_rejected(self):
+        line = "r\t4\t0\t4\t+\t<3<2\t8\t0\t4\t4\t4\t60"
+        with pytest.raises(GafFormatError):
+            read_gaf(io.StringIO(line))
+
+    def test_short_line_rejected(self):
+        with pytest.raises(GafFormatError):
+            read_gaf(io.StringIO("r\t4\t0\t4\t+\t>1\n"))

@@ -1,0 +1,77 @@
+"""Tests for the VCF subset reader/writer."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.io.vcf import VcfFormatError, VcfRecord, read_vcf, write_vcf
+
+SAMPLE = """##fileformat=VCFv4.2
+#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO
+chr1\t5\trs1\tA\tG\t.\t.\t.
+chr1\t10\t.\tAT\tA\t.\t.\t.
+chr1\t20\t.\tC\tCGG\t.\t.\t.
+chr2\t7\t.\tG\tA,T\t.\t.\t.
+chr2\t9\t.\tG\t<DEL>\t.\t.\t.
+"""
+
+
+class TestRead:
+    def test_parses_records_and_splits_multiallelic(self):
+        records = read_vcf(io.StringIO(SAMPLE))
+        # 3 plain + 2 from the multi-allelic line; symbolic ALT skipped.
+        assert len(records) == 5
+        assert records[0] == VcfRecord("chr1", 5, "A", "G", "rs1")
+        alts = [(r.pos, r.alt) for r in records if r.chrom == "chr2"]
+        assert alts == [(7, "A"), (7, "T")]
+
+    def test_header_and_blank_lines_skipped(self):
+        records = read_vcf(io.StringIO("##x\n\n#CHROM\nchr1\t1\t.\tA\tC\n"))
+        assert len(records) == 1
+
+    def test_short_line_rejected(self):
+        with pytest.raises(VcfFormatError):
+            read_vcf(io.StringIO("chr1\t1\t.\tA\n"))
+
+    def test_bad_pos_rejected(self):
+        with pytest.raises(VcfFormatError):
+            read_vcf(io.StringIO("chr1\tx\t.\tA\tC\n"))
+
+    def test_alleles_uppercased(self):
+        records = read_vcf(io.StringIO("chr1\t3\t.\tat\tag\n"))
+        assert records[0].ref == "AT"
+        assert records[0].alt == "AG"
+
+
+class TestRecord:
+    def test_classification(self):
+        assert VcfRecord("c", 1, "A", "G").is_snp
+        assert VcfRecord("c", 1, "A", "AGG").is_insertion
+        assert VcfRecord("c", 1, "ATT", "A").is_deletion
+
+    def test_end(self):
+        assert VcfRecord("c", 5, "ATT", "A").end == 7
+
+    def test_invalid_pos_rejected(self):
+        with pytest.raises(VcfFormatError):
+            VcfRecord("c", 0, "A", "G")
+
+    def test_empty_alleles_rejected(self):
+        with pytest.raises(VcfFormatError):
+            VcfRecord("c", 1, "", "G")
+        with pytest.raises(VcfFormatError):
+            VcfRecord("c", 1, "A", "")
+
+
+class TestRoundtrip:
+    def test_write_read(self, tmp_path):
+        records = [
+            VcfRecord("chr1", 5, "A", "G", "rs1"),
+            VcfRecord("chr1", 10, "AT", "A"),
+            VcfRecord("chr2", 3, "C", "CTT"),
+        ]
+        path = tmp_path / "vars.vcf"
+        write_vcf(path, records)
+        assert read_vcf(path) == records

@@ -1,0 +1,156 @@
+"""Tests for character-level linearization and hop statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.builder import Variant, build_graph
+from repro.graph.genome_graph import GenomeGraph, GraphError
+from repro.graph.linearize import (
+    hop_coverage,
+    hop_length_distribution,
+    linearize,
+)
+
+
+def bubble() -> GenomeGraph:
+    """AC -> (G | T) -> AC, topologically sorted."""
+    graph = GenomeGraph()
+    a = graph.add_node("AC")
+    b = graph.add_node("G")
+    c = graph.add_node("T")
+    d = graph.add_node("AC")
+    graph.add_edge(a, b)
+    graph.add_edge(a, c)
+    graph.add_edge(b, d)
+    graph.add_edge(c, d)
+    return graph
+
+
+class TestLinearize:
+    def test_chars_concatenated_in_node_order(self):
+        lin = linearize(bubble())
+        assert lin.chars == "ACGTAC"
+
+    def test_within_node_successors(self):
+        lin = linearize(bubble())
+        assert lin.successors[0] == (1,)  # A -> C within node 0
+
+    def test_branch_successors(self):
+        lin = linearize(bubble())
+        # C (last char of node 0) -> G (pos 2) and T (pos 3).
+        assert lin.successors[1] == (2, 3)
+
+    def test_hop_into_merge_node(self):
+        lin = linearize(bubble())
+        # G (pos 2) -> A of node 3 (pos 4): distance 2 hop.
+        assert lin.successors[2] == (4,)
+        # T (pos 3) -> A (pos 4): adjacent.
+        assert lin.successors[3] == (4,)
+
+    def test_last_char_no_successors(self):
+        lin = linearize(bubble())
+        assert lin.successors[5] == ()
+
+    def test_node_ids_and_offsets(self):
+        lin = linearize(bubble())
+        assert lin.node_ids == [0, 0, 1, 2, 3, 3]
+        assert lin.node_offsets == [0, 1, 0, 0, 0, 1]
+
+    def test_hop_counting(self):
+        lin = linearize(bubble())
+        # Inter-node hops with distance > 1: C->T (2), G->A (2).
+        assert lin.total_hops == 2
+        assert lin.dropped_hops == 0
+        assert lin.hop_coverage == 1.0
+
+    def test_hop_limit_drops_long_hops(self):
+        lin = linearize(bubble(), hop_limit=1)
+        assert lin.dropped_hops == 2
+        assert lin.successors[1] == (2,)   # C->T dropped
+        assert lin.successors[2] == ()     # G->A dropped
+        assert lin.hop_coverage == 0.0
+
+    def test_hop_limit_validation(self):
+        with pytest.raises(GraphError):
+            linearize(bubble(), hop_limit=0)
+
+    def test_requires_topological_sort(self):
+        graph = GenomeGraph()
+        a, b = graph.add_node("A"), graph.add_node("C")
+        graph.add_edge(b, a)
+        with pytest.raises(GraphError):
+            linearize(graph)
+
+    def test_linear_graph_is_chain(self):
+        graph = GenomeGraph.from_linear("ACGTACGT", node_length=3)
+        lin = linearize(graph)
+        assert lin.is_chain()
+        assert lin.total_hops == 0
+
+
+class TestSlice:
+    def test_slice_clips_successors(self):
+        lin = linearize(bubble())
+        window = lin.slice(0, 4)  # ACGT, hop G->A (pos 4) clipped
+        assert window.chars == "ACGT"
+        assert window.successors[2] == ()
+        assert window.successors[1] == (2, 3)
+
+    def test_slice_positions_rebased(self):
+        lin = linearize(bubble())
+        window = lin.slice(2, 6)
+        assert window.chars == "GTAC"
+        assert window.successors[0] == (2,)  # G -> A rebased
+
+    def test_invalid_slice_rejected(self):
+        lin = linearize(bubble())
+        with pytest.raises(GraphError):
+            lin.slice(3, 3)
+        with pytest.raises(GraphError):
+            lin.slice(0, 99)
+
+
+class TestHopBits:
+    def test_matrix_matches_successors(self):
+        lin = linearize(bubble())
+        bits = lin.hopbits()
+        for position, succs in enumerate(lin.successors):
+            for succ in succs:
+                assert bits[position, succ]
+        assert bits.sum() == sum(len(s) for s in lin.successors)
+
+    def test_size_guard(self):
+        lin = linearize(bubble())
+        with pytest.raises(GraphError):
+            lin.hopbits(max_size=2)
+
+
+class TestHopStatistics:
+    def test_distribution_of_bubble(self):
+        histogram = hop_length_distribution(bubble())
+        assert histogram == {2: 2}
+
+    def test_linear_graph_has_no_hops(self):
+        graph = GenomeGraph.from_linear("ACGTACGT", node_length=2)
+        assert hop_length_distribution(graph) == {}
+        assert hop_coverage(graph, [1, 4]) == {1: 1.0, 4: 1.0}
+
+    def test_coverage_monotone_in_limit(self, small_graph):
+        limits = list(range(1, 20))
+        coverage = hop_coverage(small_graph, limits)
+        values = [coverage[l] for l in limits]
+        assert values == sorted(values)
+        assert all(0.0 <= v <= 1.0 for v in values)
+
+    def test_snp_bubbles_have_short_hops(self):
+        # Paper Fig. 13 rationale: SNPs create hops of length 2.
+        built = build_graph("ACGTACGTACGT", [Variant(5, 6, "T")])
+        histogram = hop_length_distribution(built.graph)
+        assert set(histogram) == {2}
+
+    def test_sv_creates_long_hop(self):
+        # A 6-base deletion creates a hop skipping 6 characters.
+        built = build_graph("ACGTACGTACGT", [Variant(3, 9, "")])
+        histogram = hop_length_distribution(built.graph)
+        assert max(histogram) == 7

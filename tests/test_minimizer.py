@@ -1,0 +1,134 @@
+"""Tests for <w,k>-minimizer extraction."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.minimizer import (
+    brute_force_minimizers,
+    expected_density,
+    invertible_hash,
+    kmer_at,
+    minimizers,
+)
+
+dna = st.text(alphabet="ACGT", min_size=1, max_size=120)
+params = st.tuples(
+    dna,
+    st.integers(min_value=1, max_value=12),   # w
+    st.integers(min_value=1, max_value=8),    # k
+)
+
+
+class TestPaperExample:
+    def test_fig8_lexicographic_minimizer(self):
+        # Paper Fig. 8: sequence AGTAGCA, <5,3>-minimizers, first window
+        # holds AGT, GTA, TAG, AGC, GCA; lexicographically smallest is
+        # AGC at position 3.
+        found = minimizers("AGTAGCA", w=5, k=3, scoring="lex")
+        assert len(found) == 1
+        assert found[0].position == 3
+        assert kmer_at("AGTAGCA", 3, 3) == found[0].kmer
+
+
+class TestSingleLoopEquivalence:
+    @settings(max_examples=300, deadline=None)
+    @given(params)
+    def test_matches_brute_force(self, args):
+        sequence, w, k = args
+        fast = minimizers(sequence, w=w, k=k)
+        slow = brute_force_minimizers(sequence, w=w, k=k)
+        assert fast == slow
+
+    @settings(max_examples=100, deadline=None)
+    @given(params)
+    def test_matches_brute_force_lex(self, args):
+        sequence, w, k = args
+        assert minimizers(sequence, w=w, k=k, scoring="lex") == \
+            brute_force_minimizers(sequence, w=w, k=k, scoring="lex")
+
+
+class TestProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(params)
+    def test_minimizers_sorted_and_unique(self, args):
+        sequence, w, k = args
+        found = minimizers(sequence, w=w, k=k)
+        positions = [m.position for m in found]
+        assert positions == sorted(set(positions))
+
+    @settings(max_examples=100, deadline=None)
+    @given(params)
+    def test_every_window_contains_a_minimizer(self, args):
+        sequence, w, k = args
+        found = minimizers(sequence, w=w, k=k)
+        num_kmers = len(sequence) - k + 1
+        if num_kmers < 1:
+            assert found == []
+            return
+        positions = {m.position for m in found}
+        for start in range(max(1, num_kmers - w + 1)):
+            window = set(range(start, min(start + w, num_kmers)))
+            assert window & positions, f"window at {start} uncovered"
+
+    def test_shared_substring_yields_shared_minimizer(self):
+        # Minimizer guarantee: two sequences sharing an exact match of
+        # >= w+k-1 bases share a minimizer (paper Section 6).
+        rng = random.Random(5)
+        core = "".join(rng.choice("ACGT") for _ in range(40))
+        left = "".join(rng.choice("ACGT") for _ in range(20)) + core
+        right = core + "".join(rng.choice("ACGT") for _ in range(20))
+        w, k = 8, 10
+        left_kmers = {m.kmer for m in minimizers(left, w=w, k=k)}
+        right_kmers = {m.kmer for m in minimizers(right, w=w, k=k)}
+        assert left_kmers & right_kmers
+
+    def test_sequence_shorter_than_k(self):
+        assert minimizers("ACG", w=4, k=5) == []
+
+    def test_sequence_shorter_than_window(self):
+        # Fewer than w k-mers: minimum over what exists.
+        found = minimizers("ACGTA", w=10, k=3)
+        assert len(found) == 1
+
+    def test_w1_selects_every_kmer(self):
+        sequence = "ACGTACGTAG"
+        found = minimizers(sequence, w=1, k=3)
+        assert len(found) == len(sequence) - 3 + 1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            minimizers("ACGT", w=0, k=3)
+        with pytest.raises(ValueError):
+            minimizers("ACGT", w=2, k=0)
+        with pytest.raises(ValueError):
+            minimizers("ACGT", w=2, k=3, scoring="nope")
+
+
+class TestHash:
+    def test_invertible_hash_is_bijective_small(self):
+        bits = 8
+        images = {invertible_hash(x, bits) for x in range(1 << bits)}
+        assert len(images) == 1 << bits
+
+    def test_hash_stays_in_range(self):
+        for x in [0, 1, 123456]:
+            assert 0 <= invertible_hash(x, 30) < (1 << 30)
+
+
+class TestDensity:
+    def test_expected_density_formula(self):
+        # Paper Section 6: index shrinks by a factor of 2/(w+1).
+        assert expected_density(9) == pytest.approx(0.2)
+
+    def test_observed_density_close_to_expected(self):
+        rng = random.Random(11)
+        sequence = "".join(rng.choice("ACGT") for _ in range(20_000))
+        w, k = 9, 15
+        found = minimizers(sequence, w=w, k=k)
+        density = len(found) / (len(sequence) - k + 1)
+        assert density == pytest.approx(expected_density(w), rel=0.15)

@@ -1,0 +1,71 @@
+"""Tests for the Observation 4 CPU scaling model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.scaling import (
+    ALIGNMENT_MISS_SHARE_AT_40,
+    MEASURED_MISS_RATES,
+    CpuScalingModel,
+    observation4_rows,
+)
+
+
+class TestCpuScalingModel:
+    def test_miss_rate_anchors(self):
+        model = CpuScalingModel()
+        for threads, rate in MEASURED_MISS_RATES.items():
+            assert model.cache_miss_rate(threads) == \
+                pytest.approx(rate)
+
+    def test_miss_rate_interpolates(self):
+        model = CpuScalingModel()
+        mid = model.cache_miss_rate(15)
+        assert 0.25 < mid < 0.29
+
+    def test_efficiency_below_paper_ceiling(self):
+        """Observation 4: parallel efficiency does not exceed 0.4 at
+        the measured thread counts (>= 10)."""
+        model = CpuScalingModel()
+        for threads in (10, 20, 40):
+            assert model.parallel_efficiency(threads) < 0.4
+
+    def test_efficiency_decreases_with_threads(self):
+        model = CpuScalingModel()
+        efficiencies = [model.parallel_efficiency(t)
+                        for t in (5, 10, 20, 40)]
+        assert efficiencies == sorted(efficiencies, reverse=True)
+
+    def test_throughput_never_regresses(self):
+        """Sublinear is not negative: more threads never hurt."""
+        model = CpuScalingModel()
+        throughputs = [model.relative_throughput(t)
+                       for t in (5, 10, 20, 40)]
+        for before, after in zip(throughputs, throughputs[1:]):
+            assert after >= before
+
+    def test_saturation_region_flattens(self):
+        model = CpuScalingModel()
+        gain_early = model.relative_throughput(10) \
+            - model.relative_throughput(5)
+        gain_late = model.relative_throughput(40) \
+            - model.relative_throughput(20)
+        assert gain_late < gain_early
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CpuScalingModel().cache_miss_rate(0)
+
+    def test_alignment_miss_share_constant(self):
+        assert ALIGNMENT_MISS_SHARE_AT_40 == 0.76
+
+
+class TestObservation4Rows:
+    def test_rows_shape(self):
+        rows = observation4_rows()
+        assert [r["threads"] for r in rows] == [5, 10, 20, 40]
+        for row in rows:
+            if row["cache_miss_rate (paper)"] is not None:
+                assert row["cache_miss_rate (model)"] == \
+                    pytest.approx(row["cache_miss_rate (paper)"])

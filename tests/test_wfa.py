@@ -1,0 +1,85 @@
+"""Tests for the wavefront aligner (WFA)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.align.dp_linear import edit_distance, semiglobal_distance
+from repro.align.wfa import wfa_edit_distance, wfa_fitting_distance
+
+dna = st.text(alphabet="ACGT", min_size=0, max_size=60)
+read_strategy = st.text(alphabet="ACGT", min_size=1, max_size=30)
+
+
+class TestGlobal:
+    def test_identical(self):
+        assert wfa_edit_distance("ACGT", "ACGT") == 0
+
+    def test_known_cases(self):
+        assert wfa_edit_distance("ACGT", "ACCT") == 1
+        assert wfa_edit_distance("ACGT", "AGT") == 1
+        assert wfa_edit_distance("ACGT", "") == 4
+        assert wfa_edit_distance("", "") == 0
+
+    def test_max_score_cutoff(self):
+        assert wfa_edit_distance("AAAA", "TTTT", max_score=2) is None
+        assert wfa_edit_distance("AAAA", "TTTT", max_score=4) == 4
+
+    @settings(max_examples=250, deadline=None)
+    @given(dna, dna)
+    def test_matches_dp(self, a, b):
+        assert wfa_edit_distance(a, b) == edit_distance(a, b)
+
+    @settings(max_examples=80, deadline=None)
+    @given(dna, dna, st.integers(min_value=0, max_value=10))
+    def test_threshold_semantics(self, a, b, max_score):
+        truth = edit_distance(a, b)
+        result = wfa_edit_distance(a, b, max_score=max_score)
+        if truth <= max_score:
+            assert result == truth
+        else:
+            assert result is None
+
+
+class TestFitting:
+    def test_exact_substring(self):
+        assert wfa_fitting_distance("AAACGTAAA", "ACGT") == 0
+
+    def test_empty_reference(self):
+        assert wfa_fitting_distance("", "ACGT") == 4
+
+    def test_empty_read_rejected(self):
+        with pytest.raises(ValueError):
+            wfa_fitting_distance("ACGT", "")
+
+    @settings(max_examples=250, deadline=None)
+    @given(dna, read_strategy)
+    def test_matches_dp(self, reference, read):
+        truth, _ = semiglobal_distance(reference, read)
+        assert wfa_fitting_distance(reference, read) == truth
+
+    @settings(max_examples=80, deadline=None)
+    @given(dna, read_strategy, st.integers(min_value=0, max_value=6))
+    def test_threshold_semantics(self, reference, read, max_score):
+        truth, _ = semiglobal_distance(reference, read)
+        result = wfa_fitting_distance(reference, read,
+                                      max_score=max_score)
+        if truth <= max_score:
+            assert result == truth
+        else:
+            assert result is None
+
+    def test_wavefront_work_scales_with_score_not_length(self):
+        """The WFA selling point: near-identical sequences align in
+        time proportional to the score, independent of length."""
+        import time
+        base = "ACGT" * 2_000
+        noisy = base[:3_000] + "T" + base[3_000:]  # one insertion
+        t0 = time.perf_counter()
+        assert wfa_edit_distance(base, noisy) == 1
+        fast = time.perf_counter() - t0
+        # Even a generous bound demonstrates the point: 8 kbp global
+        # alignment at distance 1 completes in well under a second.
+        assert fast < 1.0
