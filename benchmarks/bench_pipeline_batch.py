@@ -1,0 +1,111 @@
+"""Pipeline batch engine — reads/s for jobs x region-cache settings.
+
+Not a paper figure: this benchmark characterizes the software staged
+pipeline itself (``SeGraM.map_batch``), the throughput lever the
+hardware pipeline motivates.  A simulated long-read workload with
+duplicate reads (sequencing libraries routinely contain duplicates)
+is mapped with jobs ∈ {1, 2, 4}, region cache cold/off vs warm, and
+each configuration reports a JSON-friendly row in the shared bench
+row convention (dicts rendered via ``format_table``; pytest-benchmark
+adds the timing entry).
+
+Acceptance check: jobs=4 with a warm region cache must beat the
+jobs=1 cold-cache baseline on this workload.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.core.mapper import SeGraM, SeGraMConfig
+from repro.core.windows import WindowingConfig
+from repro.sim.errors import ErrorModel, apply_errors
+from repro.sim.reference import random_reference
+
+
+def _build_workload(read_count: int = 18, read_length: int = 1_200,
+                    duplicates: int = 2):
+    """A long-read batch over a small genome, with duplicate reads."""
+    rng = random.Random(1234)
+    reference = random_reference(60_000, rng)
+    uniques = []
+    for i in range(read_count):
+        start = rng.randrange(0, len(reference) - read_length - 1)
+        sequence, _ = apply_errors(
+            reference[start:start + read_length],
+            ErrorModel.pacbio(0.05), rng,
+        )
+        uniques.append((f"read{i}", sequence))
+    reads = []
+    for name, sequence in uniques:
+        reads.append((name, sequence))
+        for dup in range(duplicates):
+            reads.append((f"{name}.dup{dup}", sequence))
+    rng.shuffle(reads)
+    return reference, reads
+
+
+def _mapper(reference: str, cache_size: int) -> SeGraM:
+    config = SeGraMConfig(
+        w=10, k=15, bucket_bits=13, error_rate=0.05,
+        windowing=WindowingConfig(window_size=128, overlap=48, k=32),
+        max_seeds_per_read=4,
+        region_cache_size=cache_size,
+    )
+    return SeGraM.from_reference(reference, config=config,
+                                 max_node_length=4_000)
+
+
+def pipeline_batch_rows():
+    reference, reads = _build_workload()
+    rows = []
+    baseline_rps = None
+    for jobs, cache_size, warm, label in (
+        (1, 0, False, "jobs=1, cache off (baseline)"),
+        (1, 256, False, "jobs=1, cache cold"),
+        (1, 256, True, "jobs=1, cache warm"),
+        (2, 256, True, "jobs=2, cache warm"),
+        (4, 256, True, "jobs=4, cache warm"),
+    ):
+        mapper = _mapper(reference, cache_size)
+        if warm:
+            # Pre-warm the parent's region cache; forked batch workers
+            # inherit the warm cache copy-on-write.
+            mapper.map_batch(reads, jobs=1)
+            mapper.pipeline.reset_stats()
+        start = time.perf_counter()
+        results = mapper.map_batch(reads, jobs=jobs)
+        elapsed = time.perf_counter() - start
+        stats = mapper.pipeline.stats
+        rps = len(reads) / elapsed
+        if baseline_rps is None:
+            baseline_rps = rps
+        rows.append({
+            "config": label,
+            "jobs": jobs,
+            "cache_size": cache_size,
+            "reads": len(reads),
+            "mapped": sum(1 for r in results if r.mapped),
+            "cache_hit_rate": round(stats.cache_hit_rate, 3),
+            "reads_per_s": round(rps, 2),
+            "speedup_vs_baseline": round(rps / baseline_rps, 2),
+        })
+    return rows
+
+
+def test_pipeline_batch_throughput(benchmark, show):
+    rows = benchmark.pedantic(pipeline_batch_rows, rounds=1,
+                              iterations=1)
+    show(rows, "pipeline batch engine — jobs x region cache")
+
+    by_config = {row["config"]: row for row in rows}
+    baseline = by_config["jobs=1, cache off (baseline)"]
+    best = by_config["jobs=4, cache warm"]
+    # Everything maps regardless of configuration.
+    assert all(row["mapped"] == row["reads"] for row in rows)
+    # Duplicate reads make the warm cache pay off.
+    assert by_config["jobs=1, cache warm"]["cache_hit_rate"] > 0.3
+    # The acceptance bar: parallel + warm cache beats sequential cold.
+    assert best["reads_per_s"] > baseline["reads_per_s"]
+    assert best["speedup_vs_baseline"] > 1.0

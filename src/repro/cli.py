@@ -22,6 +22,7 @@ from pathlib import Path
 from typing import Sequence
 
 from repro.core.mapper import SeGraM, SeGraMConfig
+from repro.core.pipeline import effective_jobs
 from repro.core.windows import WindowingConfig
 from repro.eval.report import format_table
 from repro.graph.builder import build_graph
@@ -72,6 +73,20 @@ def build_parser() -> argparse.ArgumentParser:
     map_cmd.add_argument("--max-seeds", type=int, default=8)
     map_cmd.add_argument("--hop-limit", type=int, default=None)
     map_cmd.add_argument("--both-strands", action="store_true")
+    map_cmd.add_argument("--bucket-bits", type=int, default=14,
+                         help="hash-index bucket width (default 14)")
+    map_cmd.add_argument("--chaining", action="store_true",
+                         help="enable the optional colinear-chaining "
+                              "filter (pipeline step 2 of Fig. 2)")
+    map_cmd.add_argument("--early-exit-distance", type=int, default=None,
+                         help="stop scanning regions once an alignment "
+                              "at or below this distance is found")
+    map_cmd.add_argument("--jobs", type=int, default=1,
+                         help="worker processes for batch mapping "
+                              "(default 1 = sequential)")
+    map_cmd.add_argument("--cache-size", type=int, default=128,
+                         help="LRU region-cache capacity in regions "
+                              "(0 disables; default 128)")
 
     stats = sub.add_parser("stats", help="graph statistics")
     stats.add_argument("--graph", required=True, type=Path)
@@ -148,22 +163,31 @@ def cmd_index(args: argparse.Namespace) -> int:
 
 
 def cmd_map(args: argparse.Namespace) -> int:
+    if args.cache_size < 0:
+        raise SystemExit("error: --cache-size must be >= 0 "
+                         "(0 disables the region cache)")
+    if args.jobs < 1:
+        raise SystemExit("error: --jobs must be >= 1")
     ref_name, reference = _load_reference(args.reference)
     variants = read_vcf(args.vcf) if args.vcf else []
     config = SeGraMConfig(
-        w=args.w, k=args.k, bucket_bits=14,
+        w=args.w, k=args.k, bucket_bits=args.bucket_bits,
         error_rate=args.error_rate,
         windowing=WindowingConfig(),
         max_seeds_per_read=args.max_seeds,
         hop_limit=args.hop_limit,
         both_strands=args.both_strands,
+        chaining=args.chaining,
+        early_exit_distance=args.early_exit_distance,
+        region_cache_size=args.cache_size,
     )
     mapper = SeGraM.from_reference(reference, variants, config=config,
                                    name=ref_name,
                                    max_node_length=4_096)
     reads = _load_reads(args.reads)
-    results = [(mapper.map_read(seq, name), seq)
-               for name, seq in reads]
+    mapped_reads = mapper.map_batch(reads, jobs=args.jobs)
+    results = [(result, seq)
+               for result, (_, seq) in zip(mapped_reads, reads)]
     mapped = sum(1 for r, _ in results if r.mapped)
     if args.format == "gaf":
         records = [result_to_gaf(r, mapper.graph, seq)
@@ -175,6 +199,12 @@ def cmd_map(args: argparse.Namespace) -> int:
         write_sam(args.output, records, ref_name, len(reference))
     print(f"mapped {mapped}/{len(reads)} reads -> {args.output} "
           f"({args.format})")
+    stats = mapper.stats
+    jobs = effective_jobs(args.jobs, len(reads))
+    print(format_table(stats.stage_rows(),
+                       title=f"pipeline stages (jobs={jobs})"))
+    for line in stats.summary_lines():
+        print(f"  {line}")
     return 0
 
 

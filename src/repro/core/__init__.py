@@ -9,9 +9,13 @@
   lets BitAlign handle long reads (paper Section 7).
 * :mod:`repro.core.minseed` — the MinSeed minimizer-based seeding
   algorithm (paper Section 6).
+* :mod:`repro.core.pipeline` — the staged mapping pipeline engine
+  (seed -> filter/chain -> extract -> align -> select) with per-stage
+  statistics, the LRU region cache, and the sharded batch engine.
 * :mod:`repro.core.mapper` — the end-to-end SeGraM mapper combining
   MinSeed and BitAlign for both sequence-to-graph and
-  sequence-to-sequence mapping (paper Section 9).
+  sequence-to-sequence mapping (paper Section 9), a thin driver over
+  the pipeline engine.
 """
 
 from repro.core.alignment import Cigar, CigarError, replay_alignment
@@ -19,7 +23,10 @@ from repro.core.bitalign import BitAlignResult, bitalign, bitalign_distance
 from repro.core.windows import WindowedAligner, WindowingConfig
 from repro.core.minseed import MinSeed, Seed, SeedRegion
 from repro.core.mapper import MappingResult, SeGraM, SeGraMConfig
-from repro.core.chaining import Chain, chain_seeds, chains_to_regions
+from repro.core.pipeline import MappingPipeline, PipelineStats, \
+    RegionCache, StageStats, best_of
+from repro.core.chaining import Chain, chain_regions, chain_seeds, \
+    chains_to_regions
 
 __all__ = [
     "Cigar",
@@ -36,7 +43,13 @@ __all__ = [
     "MappingResult",
     "SeGraM",
     "SeGraMConfig",
+    "MappingPipeline",
+    "PipelineStats",
+    "RegionCache",
+    "StageStats",
+    "best_of",
     "Chain",
+    "chain_regions",
     "chain_seeds",
     "chains_to_regions",
 ]

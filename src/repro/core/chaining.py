@@ -126,6 +126,30 @@ def chain_seeds(
     return chains
 
 
+def chain_regions(
+    regions: Sequence[SeedRegion],
+    read_length: int,
+    error_rate: float,
+    total_chars: int,
+    top_n: int | None = None,
+    max_gap: int = 5_000,
+    max_skew: float = 0.3,
+) -> list[SeedRegion]:
+    """Chain seed regions and re-emit one region per chain.
+
+    Convenience wrapper around :func:`chain_seeds` +
+    :func:`chains_to_regions` for callers (the pipeline's filter
+    stage) that hold :class:`SeedRegion` objects rather than bare
+    seeds.
+    """
+    chains = chain_seeds([r.seed for r in regions],
+                         max_gap=max_gap, max_skew=max_skew)
+    return chains_to_regions(
+        chains, read_length=read_length, error_rate=error_rate,
+        total_chars=total_chars, top_n=top_n,
+    )
+
+
 def chains_to_regions(
     chains: Sequence[Chain],
     read_length: int,

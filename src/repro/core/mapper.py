@@ -14,10 +14,12 @@ cases of Section 9:
   :class:`~repro.core.windows.WindowedAligner` objects are exposed as
   attributes.
 
-For every candidate region produced by MinSeed, the mapper extracts
-the subgraph, linearizes it (optionally with the hardware's hop
-limit), aligns the read with windowed BitAlign, and keeps the best
-alignment by edit distance.
+Mapping itself is delegated to the staged pipeline engine of
+:mod:`repro.core.pipeline` (``seed -> filter/chain -> extract ->
+align -> select``): :meth:`SeGraM.map_read` is a thin driver over the
+stage list, :meth:`SeGraM.map_batch` shards a read set across forked
+workers, and per-stage counters accumulate in
+``SeGraM.pipeline.stats`` (a :class:`~repro.core.pipeline.PipelineStats`).
 """
 
 from __future__ import annotations
@@ -27,11 +29,12 @@ from typing import Iterable
 
 from repro import seq as seqmod
 from repro.core.minseed import MinSeed, SeedingStats
+from repro.core.pipeline import MappingPipeline, PipelineStats, \
+    map_batch_sharded
 from repro.core.windows import WindowedAligner, WindowingConfig
 from repro.core.alignment import Cigar
 from repro.graph.builder import BuiltGraph, Variant, build_graph
 from repro.graph.genome_graph import GenomeGraph, GraphError
-from repro.graph.linearize import linearize
 from repro.index.hash_index import HashTableIndex, build_index
 from repro.index.occurrence import DEFAULT_TOP_FRACTION
 
@@ -61,6 +64,9 @@ class SeGraMConfig:
         chaining: enable the optional colinear-chaining filter
             (pipeline step 2 of paper Fig. 2).  Off by default —
             MinSeed's design point aligns every seed (Section 11.4).
+        region_cache_size: capacity (in regions) of the LRU cache that
+            memoizes ``extract_region`` + ``linearize`` per
+            ``(start, end, hop_limit)`` span; 0 disables caching.
     """
 
     w: int = 10
@@ -74,6 +80,7 @@ class SeGraMConfig:
     early_exit_distance: int | None = None
     both_strands: bool = False
     chaining: bool = False
+    region_cache_size: int = 128
 
 
 @dataclass
@@ -151,6 +158,11 @@ class SeGraM:
             freq_top_fraction=self.config.freq_top_fraction,
         )
         self.aligner = WindowedAligner(self.config.windowing)
+        self.pipeline = MappingPipeline(
+            graph=self.graph, config=self.config,
+            minseed=self.minseed, aligner=self.aligner,
+            built=self.built,
+        )
 
     # ------------------------------------------------------------------
     # Constructors
@@ -181,93 +193,30 @@ class SeGraM:
     def map_read(self, read: str, name: str = "read") -> MappingResult:
         """Map one read; returns the best alignment over all regions."""
         read = seqmod.validate(read, "read")
-        forward = self._map_oriented(read, name, "+")
-        if not self.config.both_strands:
-            return forward
-        reverse = self._map_oriented(
-            seqmod.reverse_complement(read), name, "-",
-        )
-        if not reverse.mapped:
-            return forward
-        if not forward.mapped or (reverse.distance or 0) < \
-                (forward.distance if forward.distance is not None
-                 else len(read) + 1):
-            return reverse
-        return forward
+        return self.pipeline.map_read(read, name)
 
-    def map_reads(self, reads: Iterable[tuple[str, str]]) \
-            -> list[MappingResult]:
-        """Map (name, sequence) pairs; returns one result per read."""
-        return [self.map_read(sequence, name) for name, sequence in reads]
+    def map_reads(self, reads: Iterable[tuple[str, str]],
+                  jobs: int = 1) -> list[MappingResult]:
+        """Map (name, sequence) pairs; returns one result per read.
 
-    def _map_oriented(self, read: str, name: str,
-                      strand: str) -> MappingResult:
-        regions, stats = self.minseed.seed(read)
-        if self.config.chaining and regions:
-            from repro.core.chaining import chain_seeds, \
-                chains_to_regions
-            chains = chain_seeds([r.seed for r in regions])
-            regions = chains_to_regions(
-                chains, read_length=len(read),
-                error_rate=self.config.error_rate,
-                total_chars=self.graph.total_sequence_length,
-                top_n=self.config.max_seeds_per_read,
-            )
-        # Rarest minimizers are the most locus-specific: try their
-        # regions first so an optional per-read cap and the early-exit
-        # knob both see the likeliest candidates early.
-        regions.sort(key=lambda r: (r.seed.frequency, r.seed.read_start))
-        if self.config.max_seeds_per_read is not None:
-            regions = regions[:self.config.max_seeds_per_read]
-        result = MappingResult(
-            read_name=name, read_length=len(read), mapped=False,
-            strand=strand, seeding=stats,
-        )
-        best_distance: int | None = None
-        for region in regions:
-            subgraph, original_ids = self.graph.extract_region(
-                region.start, region.end,
-            )
-            lin = linearize(subgraph, hop_limit=self.config.hop_limit)
-            # The seed is an exact match: anchor the windowed aligner
-            # at its position (paper Fig. 9's left/right extensions).
-            local_node = original_ids.index(region.seed.node_id)
-            anchor_pos = subgraph.offsets()[local_node] \
-                + region.seed.node_offset
-            aligned = self.aligner.align(
-                lin, read, anchor=(anchor_pos, region.seed.read_start),
-            )
-            result.regions_aligned += 1
-            if best_distance is None or aligned.distance < best_distance:
-                best_distance = aligned.distance
-                result.mapped = True
-                result.distance = aligned.distance
-                result.cigar = aligned.cigar
-                result.windows = aligned.windows
-                result.rescues = aligned.rescues
-                if aligned.path:
-                    first = aligned.path[0]
-                    local_node = lin.node_ids[first]
-                    result.node_id = original_ids[local_node]
-                    result.node_offset = lin.node_offsets[first]
-                    path_nodes: list[int] = []
-                    for position in aligned.path:
-                        node = original_ids[lin.node_ids[position]]
-                        if not path_nodes or path_nodes[-1] != node:
-                            path_nodes.append(node)
-                    result.path_nodes = tuple(path_nodes)
-                    if self.built is not None:
-                        result.linear_position = \
-                            self.built.project_to_reference(
-                                result.node_id, result.node_offset,
-                            )
-                else:
-                    result.node_id = None
-                    result.node_offset = None
-                    result.path_nodes = ()
-                    result.linear_position = None
-            if (self.config.early_exit_distance is not None
-                    and best_distance is not None
-                    and best_distance <= self.config.early_exit_distance):
-                break
-        return result
+        ``jobs > 1`` delegates to :meth:`map_batch`.
+        """
+        return self.map_batch(reads, jobs=jobs)
+
+    def map_batch(self, reads: Iterable[tuple[str, str]],
+                  jobs: int = 1) -> list[MappingResult]:
+        """Map a batch of (name, sequence) pairs, optionally sharded
+        across ``jobs`` worker processes.
+
+        The index is built once here and shared with the workers via
+        ``fork`` (copy-on-write); per-shard stage statistics are merged
+        into ``self.pipeline.stats``.  Results are returned in input
+        order and are identical to calling :meth:`map_read` per read —
+        the batch/sequential parity contract the tests enforce.
+        """
+        return map_batch_sharded(self, list(reads), jobs)
+
+    @property
+    def stats(self) -> PipelineStats:
+        """Cumulative pipeline statistics for this mapper."""
+        return self.pipeline.stats

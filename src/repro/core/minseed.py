@@ -95,6 +95,15 @@ class SeedingStats:
     def surviving_minimizers(self) -> int:
         return self.minimizer_count - self.filtered_minimizers
 
+    def merge(self, other: "SeedingStats") -> None:
+        """Fold another read's counters into this aggregate (used by
+        the pipeline's cumulative statistics)."""
+        self.minimizer_count += other.minimizer_count
+        self.filtered_minimizers += other.filtered_minimizers
+        self.seed_count += other.seed_count
+        self.region_count += other.region_count
+        self.index_accesses += other.index_accesses
+
 
 class MinSeed:
     """The seeding stage of SeGraM.

@@ -1,0 +1,615 @@
+"""Staged mapping pipeline engine (software mirror of paper Fig. 2).
+
+SeGraM's hardware is an explicit pipeline: MinSeed units produce
+candidate regions that flow through queues into BitAlign units, with
+per-stage scratchpads acting as caches (Sections 6-8).  This module
+expresses the same decomposition in software.  Mapping one oriented
+read is a pass over four composable stages::
+
+    seed -> filter/chain -> extract+linearize -> align
+
+followed by a fifth *select* stage that folds the per-orientation
+results (forward / reverse-complement) into the final
+:class:`~repro.core.mapper.MappingResult`.  Each stage reports typed
+counters (items in/out, dropped, wall time) into a
+:class:`PipelineStats` object, the software analogue of the paper's
+per-unit utilization counters.
+
+Two throughput features ride on the stage boundary:
+
+* a **region cache** (:class:`RegionCache`) — an LRU memo of
+  ``extract_region`` + ``linearize`` keyed by
+  ``(region.start, region.end, hop_limit)``.  Extraction and
+  linearization are the hot path of the pure-Python mapper, and
+  duplicate reads / repeated loci re-derive identical spans; the cache
+  plays the role of BitAlign's input scratchpad.
+* a **batch engine** (:func:`map_batch_sharded`) — shards a read set
+  across ``multiprocessing`` workers.  The index is built once in the
+  parent and shared with the workers via ``fork`` (copy-on-write), so
+  workers start with a warm region cache; per-shard
+  :class:`PipelineStats` are merged back into the parent's.
+
+Results are bit-for-bit identical to the former monolithic
+``SeGraM._map_oriented`` loop: stage boundaries, the cache, and
+sharding change *when* work happens, never *what* is computed.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import time
+import warnings
+from collections import OrderedDict
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator, Sequence
+
+from repro import seq as seqmod
+from repro.core.chaining import chain_regions
+from repro.core.minseed import SeedRegion, SeedingStats
+from repro.graph.linearize import LinearizedGraph, linearize
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.mapper import MappingResult, SeGraM
+
+
+#: Stage names in execution order (also the row order of stats tables).
+STAGE_ORDER = ("seed", "filter", "extract", "align", "select")
+
+
+# ----------------------------------------------------------------------
+# Statistics
+# ----------------------------------------------------------------------
+
+@dataclass
+class StageStats:
+    """Counters for one pipeline stage.
+
+    Attributes:
+        name: stage name (one of :data:`STAGE_ORDER`).
+        items_in: work items entering the stage (reads for ``seed`` and
+            ``select``, regions for the middle stages).
+        items_out: items surviving the stage.
+        dropped: items discarded by the stage (filter cap / chaining,
+            or regions skipped by the early-exit knob in ``align``).
+        seconds: wall time spent inside the stage.
+    """
+
+    name: str
+    items_in: int = 0
+    items_out: int = 0
+    dropped: int = 0
+    seconds: float = 0.0
+
+    def merge(self, other: "StageStats") -> None:
+        self.items_in += other.items_in
+        self.items_out += other.items_out
+        self.dropped += other.dropped
+        self.seconds += other.seconds
+
+
+@dataclass
+class PipelineStats:
+    """Aggregate pipeline statistics over any number of reads.
+
+    Mergeable (:meth:`merge`) so per-shard statistics from batch
+    workers fold into one report, and picklable so they survive the
+    ``multiprocessing`` result queue.
+    """
+
+    reads: int = 0
+    reads_mapped: int = 0
+    regions_seeded: int = 0
+    regions_chained: int = 0
+    regions_aligned: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    windows: int = 0
+    rescues: int = 0
+    seeding: SeedingStats = field(default_factory=SeedingStats)
+    stages: "OrderedDict[str, StageStats]" = field(default_factory=OrderedDict)
+
+    @classmethod
+    def empty(cls) -> "PipelineStats":
+        stats = cls()
+        for name in STAGE_ORDER:
+            stats.stages[name] = StageStats(name=name)
+        return stats
+
+    def stage(self, name: str) -> StageStats:
+        if name not in self.stages:
+            self.stages[name] = StageStats(name=name)
+        return self.stages[name]
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def merge(self, other: "PipelineStats") -> None:
+        self.reads += other.reads
+        self.reads_mapped += other.reads_mapped
+        self.regions_seeded += other.regions_seeded
+        self.regions_chained += other.regions_chained
+        self.regions_aligned += other.regions_aligned
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.windows += other.windows
+        self.rescues += other.rescues
+        self.seeding.merge(other.seeding)
+        for name, stage in other.stages.items():
+            self.stage(name).merge(stage)
+
+    def stage_rows(self) -> list[dict]:
+        """Rows for :func:`repro.eval.report.format_table`."""
+        return [
+            {"stage": s.name, "in": s.items_in, "out": s.items_out,
+             "dropped": s.dropped, "seconds": round(s.seconds, 4)}
+            for s in self.stages.values()
+        ]
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable roll-up printed by ``python -m repro map``."""
+        return [
+            f"reads: {self.reads} total, {self.reads_mapped} mapped",
+            f"regions: {self.regions_seeded} seeded -> "
+            f"{self.regions_chained} kept -> "
+            f"{self.regions_aligned} aligned",
+            f"region cache: {self.cache_hits} hits / "
+            f"{self.cache_misses} misses "
+            f"(hit rate {self.cache_hit_rate:.1%})",
+            f"alignment work: {self.windows} windows, "
+            f"{self.rescues} rescues",
+        ]
+
+
+@contextmanager
+def _timed(stage: StageStats):
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        stage.seconds += time.perf_counter() - start
+
+
+# ----------------------------------------------------------------------
+# Region cache
+# ----------------------------------------------------------------------
+
+@dataclass
+class CachedRegion:
+    """Memoized products of ``extract_region`` + ``linearize``.
+
+    ``anchor`` arithmetic is per-seed, so it stays outside the cache;
+    everything derived from the span alone is in here.
+    """
+
+    lin: LinearizedGraph
+    original_ids: list[int]
+    offsets: Sequence[int]
+
+
+class RegionCache:
+    """LRU memo for region extraction + linearization.
+
+    Keyed by ``(start, end, hop_limit)``.  ``capacity`` bounds the
+    number of retained regions (0 disables caching entirely — every
+    lookup misses and nothing is stored).  Hit/miss accounting lives
+    in :class:`PipelineStats` (the mergeable source of truth), not
+    here.
+    """
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[tuple, CachedRegion]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key: tuple) -> CachedRegion | None:
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        self._entries.move_to_end(key)
+        return entry
+
+    def store(self, key: tuple, entry: CachedRegion) -> None:
+        if self.capacity == 0:
+            return
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+# ----------------------------------------------------------------------
+# Stage payloads
+# ----------------------------------------------------------------------
+
+@dataclass
+class ReadTask:
+    """One oriented read entering the pipeline."""
+
+    name: str
+    sequence: str
+    strand: str
+
+
+@dataclass
+class SeededRead:
+    """Output of the seed (and filter) stage."""
+
+    task: ReadTask
+    regions: list[SeedRegion]
+    stats: SeedingStats
+
+
+@dataclass
+class PreparedRegion:
+    """Output of the extract stage: one alignable region."""
+
+    region: SeedRegion
+    lin: LinearizedGraph
+    original_ids: list[int]
+    anchor: tuple[int, int]
+
+
+@dataclass
+class PreparedRead:
+    """A seeded read plus its lazily-extracted region stream.
+
+    Laziness preserves the monolith's behaviour: with
+    ``early_exit_distance`` set, regions past the exit point are never
+    extracted at all.
+    """
+
+    seeded: SeededRead
+    stream: Iterator[PreparedRegion]
+
+
+# ----------------------------------------------------------------------
+# Stages
+# ----------------------------------------------------------------------
+
+class SeedStage:
+    """Step 1 (paper Section 6): MinSeed candidate-region generation."""
+
+    name = "seed"
+
+    def run(self, task: ReadTask, pipe: "MappingPipeline") -> SeededRead:
+        stats = pipe.stats.stage(self.name)
+        with _timed(stats):
+            regions, seed_stats = pipe.minseed.seed(task.sequence)
+            stats.items_in += 1
+            stats.items_out += len(regions)
+            pipe.stats.regions_seeded += len(regions)
+            pipe.stats.seeding.merge(seed_stats)
+        return SeededRead(task=task, regions=regions, stats=seed_stats)
+
+
+class ChainFilterStage:
+    """Step 2 (paper Fig. 2): optional chaining, ordering, and cap.
+
+    Regions are ordered rarest-minimizer-first so a per-read cap and
+    the early-exit knob both see the likeliest candidates early, then
+    truncated to ``max_seeds_per_read``.
+    """
+
+    name = "filter"
+
+    def run(self, seeded: SeededRead,
+            pipe: "MappingPipeline") -> SeededRead:
+        stats = pipe.stats.stage(self.name)
+        config = pipe.config
+        with _timed(stats):
+            regions = seeded.regions
+            n_in = len(regions)
+            stats.items_in += n_in
+            if config.chaining and regions:
+                regions = chain_regions(
+                    regions,
+                    read_length=len(seeded.task.sequence),
+                    error_rate=config.error_rate,
+                    total_chars=pipe.graph.total_sequence_length,
+                    top_n=config.max_seeds_per_read,
+                )
+            regions = sorted(
+                regions,
+                key=lambda r: (r.seed.frequency, r.seed.read_start),
+            )
+            if config.max_seeds_per_read is not None:
+                regions = regions[:config.max_seeds_per_read]
+            stats.items_out += len(regions)
+            stats.dropped += max(0, n_in - len(regions))
+            pipe.stats.regions_chained += len(regions)
+        return SeededRead(task=seeded.task, regions=regions,
+                          stats=seeded.stats)
+
+
+class ExtractStage:
+    """Step 3: subgraph extraction + linearization, memoized.
+
+    The returned stream is lazy; each pull performs (or recalls from
+    the :class:`RegionCache`) one ``extract_region`` + ``linearize``
+    and computes the seed anchor in linearized coordinates.
+    """
+
+    name = "extract"
+
+    def run(self, seeded: SeededRead,
+            pipe: "MappingPipeline") -> PreparedRead:
+        return PreparedRead(seeded=seeded,
+                            stream=self._stream(seeded, pipe))
+
+    def _stream(self, seeded: SeededRead,
+                pipe: "MappingPipeline") -> Iterator[PreparedRegion]:
+        stats = pipe.stats.stage(self.name)
+        for region in seeded.regions:
+            start = time.perf_counter()
+            key = (region.start, region.end, pipe.config.hop_limit)
+            entry = pipe.cache.lookup(key)
+            if entry is None:
+                pipe.stats.cache_misses += 1
+                subgraph, original_ids = pipe.graph.extract_region(
+                    region.start, region.end,
+                )
+                entry = CachedRegion(
+                    lin=linearize(subgraph,
+                                  hop_limit=pipe.config.hop_limit),
+                    original_ids=original_ids,
+                    offsets=subgraph.offsets(),
+                )
+                pipe.cache.store(key, entry)
+            else:
+                pipe.stats.cache_hits += 1
+            # The seed is an exact match: anchor the windowed aligner
+            # at its position (paper Fig. 9's left/right extensions).
+            local_node = entry.original_ids.index(region.seed.node_id)
+            anchor = (entry.offsets[local_node] + region.seed.node_offset,
+                      region.seed.read_start)
+            stats.items_in += 1
+            stats.items_out += 1
+            stats.seconds += time.perf_counter() - start
+            yield PreparedRegion(region=region, lin=entry.lin,
+                                 original_ids=entry.original_ids,
+                                 anchor=anchor)
+
+
+class AlignStage:
+    """Step 4 (paper Section 7): windowed BitAlign over each region,
+    keeping the best alignment by edit distance."""
+
+    name = "align"
+
+    def run(self, prepared: PreparedRead,
+            pipe: "MappingPipeline") -> "MappingResult":
+        from repro.core.mapper import MappingResult
+
+        stats = pipe.stats.stage(self.name)
+        seeded = prepared.seeded
+        task = seeded.task
+        result = MappingResult(
+            read_name=task.name, read_length=len(task.sequence),
+            mapped=False, strand=task.strand, seeding=seeded.stats,
+        )
+        stats.items_in += len(seeded.regions)
+        best_distance: int | None = None
+        for region in prepared.stream:
+            with _timed(stats):
+                aligned = pipe.aligner.align(
+                    region.lin, task.sequence, anchor=region.anchor,
+                )
+                result.regions_aligned += 1
+                stats.items_out += 1
+                pipe.stats.regions_aligned += 1
+                pipe.stats.windows += aligned.windows
+                pipe.stats.rescues += aligned.rescues
+                if best_distance is None \
+                        or aligned.distance < best_distance:
+                    best_distance = aligned.distance
+                    self._commit(result, aligned, region, pipe)
+            if (pipe.config.early_exit_distance is not None
+                    and best_distance is not None
+                    and best_distance
+                    <= pipe.config.early_exit_distance):
+                break
+        stats.dropped += len(seeded.regions) - result.regions_aligned
+        return result
+
+    @staticmethod
+    def _commit(result: "MappingResult", aligned, region: PreparedRegion,
+                pipe: "MappingPipeline") -> None:
+        """Record a new best alignment on the mapping result."""
+        result.mapped = True
+        result.distance = aligned.distance
+        result.cigar = aligned.cigar
+        result.windows = aligned.windows
+        result.rescues = aligned.rescues
+        lin = region.lin
+        if aligned.path:
+            first = aligned.path[0]
+            local_node = lin.node_ids[first]
+            result.node_id = region.original_ids[local_node]
+            result.node_offset = lin.node_offsets[first]
+            path_nodes: list[int] = []
+            for position in aligned.path:
+                node = region.original_ids[lin.node_ids[position]]
+                if not path_nodes or path_nodes[-1] != node:
+                    path_nodes.append(node)
+            result.path_nodes = tuple(path_nodes)
+            result.linear_position = None
+            if pipe.built is not None:
+                result.linear_position = pipe.built.project_to_reference(
+                    result.node_id, result.node_offset,
+                )
+        else:
+            result.node_id = None
+            result.node_offset = None
+            result.path_nodes = ()
+            result.linear_position = None
+
+
+class SelectStage:
+    """Step 5: fold per-orientation results into the final one."""
+
+    name = "select"
+
+    def run(self, forward: "MappingResult",
+            reverse: "MappingResult | None",
+            pipe: "MappingPipeline") -> "MappingResult":
+        stats = pipe.stats.stage(self.name)
+        with _timed(stats):
+            stats.items_in += 1 if reverse is None else 2
+            stats.items_out += 1
+            best = best_of(forward, reverse)
+            pipe.stats.reads += 1
+            if best.mapped:
+                pipe.stats.reads_mapped += 1
+        return best
+
+
+def best_of(forward: "MappingResult",
+            reverse: "MappingResult | None") -> "MappingResult":
+    """None-safe best-of-two orientations; forward wins ties.
+
+    An unmapped result never beats a mapped one; between two mapped
+    results the lower edit distance wins, and on equal distance (or a
+    missing distance on either side) the forward orientation is kept —
+    the deterministic tie-break the strand-reporting contract relies
+    on.
+    """
+    if reverse is None or not reverse.mapped:
+        return forward
+    if not forward.mapped:
+        return reverse
+    if forward.distance is None:
+        return reverse if reverse.distance is not None else forward
+    if reverse.distance is None:
+        return forward
+    return reverse if reverse.distance < forward.distance else forward
+
+
+# ----------------------------------------------------------------------
+# The pipeline driver
+# ----------------------------------------------------------------------
+
+class MappingPipeline:
+    """Composable staged mapping engine.
+
+    Owns the stage list, the region cache, and the cumulative
+    :class:`PipelineStats`.  ``SeGraM`` delegates all mapping to an
+    instance of this class.
+    """
+
+    def __init__(self, graph, config, minseed, aligner,
+                 built=None) -> None:
+        self.graph = graph
+        self.config = config
+        self.minseed = minseed
+        self.aligner = aligner
+        self.built = built
+        self.cache = RegionCache(config.region_cache_size)
+        self.stats = PipelineStats.empty()
+        self.stages = (SeedStage(), ChainFilterStage(), ExtractStage(),
+                       AlignStage())
+        self.select = SelectStage()
+
+    def reset_stats(self) -> None:
+        self.stats = PipelineStats.empty()
+
+    def map_read(self, read: str, name: str) -> "MappingResult":
+        """Map one (validated) read through the staged pipeline."""
+        forward = self._run_oriented(read, name, "+")
+        reverse = None
+        if self.config.both_strands:
+            reverse = self._run_oriented(
+                seqmod.reverse_complement(read), name, "-",
+            )
+        return self.select.run(forward, reverse, self)
+
+    def _run_oriented(self, read: str, name: str,
+                      strand: str) -> "MappingResult":
+        item = ReadTask(name=name, sequence=read, strand=strand)
+        for stage in self.stages:
+            item = stage.run(item, self)
+        return item
+
+
+# ----------------------------------------------------------------------
+# Batch engine
+# ----------------------------------------------------------------------
+
+_WORKER_MAPPER: "SeGraM | None" = None
+
+
+def effective_jobs(jobs: int, read_count: int) -> int:
+    """Worker processes that will actually run for this batch.
+
+    Bounded by the read count, and 1 on platforms without the ``fork``
+    start method (the index cannot be shared copy-on-write there).
+    """
+    jobs = max(1, min(jobs, read_count))
+    if jobs > 1 and "fork" not in multiprocessing.get_all_start_methods():
+        return 1
+    return jobs
+
+
+def _worker_init(mapper: "SeGraM") -> None:
+    """Pool initializer: adopt the (forked) mapper."""
+    global _WORKER_MAPPER
+    _WORKER_MAPPER = mapper
+
+
+def _worker_map_shard(reads):
+    mapper = _WORKER_MAPPER
+    assert mapper is not None, "worker pool not initialized"
+    # One worker may process several shards: account each separately.
+    mapper.pipeline.reset_stats()
+    results = [mapper.map_read(sequence, name)
+               for name, sequence in reads]
+    return results, mapper.pipeline.stats
+
+
+def map_batch_sharded(mapper: "SeGraM",
+                      reads: Sequence[tuple[str, str]],
+                      jobs: int) -> "list[MappingResult]":
+    """Shard ``reads`` across ``jobs`` forked workers.
+
+    Contiguous shards keep neighbouring reads (and therefore their
+    overlapping candidate regions) on the same worker's region cache.
+    The parent's index — and any warmth already in its region cache —
+    is shared with the workers copy-on-write via ``fork``; per-shard
+    :class:`PipelineStats` are merged back into the parent pipeline.
+    Results are returned in input order and are identical to a
+    sequential ``map_read`` loop.
+    """
+    reads = list(reads)
+    requested = jobs
+    jobs = effective_jobs(jobs, len(reads))
+    if jobs == 1:
+        if requested > 1 and len(reads) > 1:
+            warnings.warn(
+                "multiprocessing start method 'fork' is unavailable "
+                "on this platform; mapping sequentially",
+                RuntimeWarning, stacklevel=2,
+            )
+        return [mapper.map_read(sequence, name)
+                for name, sequence in reads]
+    chunk = math.ceil(len(reads) / jobs)
+    shards = [reads[i * chunk:(i + 1) * chunk] for i in range(jobs)
+              if reads[i * chunk:(i + 1) * chunk]]
+    ctx = multiprocessing.get_context("fork")
+    with ctx.Pool(processes=len(shards), initializer=_worker_init,
+                  initargs=(mapper,)) as pool:
+        outputs = pool.map(_worker_map_shard, shards)
+    results: "list[MappingResult]" = []
+    for shard_results, shard_stats in outputs:
+        results.extend(shard_results)
+        mapper.pipeline.stats.merge(shard_stats)
+    return results

@@ -206,7 +206,7 @@ class WindowedAligner:
             dead_end = right.dead_end_insertions
             ops, path = right.ops, right.path
             if anchor_read > 0:
-                rev = lin.reversed()
+                rev = lin.reversed_view()
                 n = len(lin)
                 # In reversed coordinates the left extension starts at
                 # the (reversed) successors of the anchor, i.e. the

@@ -21,7 +21,7 @@ the Fig. 13 benchmark sweeps.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Sequence
 
 import numpy as np
@@ -53,6 +53,8 @@ class LinearizedGraph:
     total_hops: int = 0
     dropped_hops: int = 0
     hop_limit: int | None = None
+    _reversed: "LinearizedGraph | None" = field(
+        default=None, repr=False, compare=False)
 
     def __len__(self) -> int:
         return len(self.chars)
@@ -135,6 +137,10 @@ class LinearizedGraph:
         windowed aligner uses this for *left extension* from a seed:
         aligning the reversed read prefix forward on the reversed graph
         is exactly aligning the prefix backward on the original.
+
+        Prefer :meth:`reversed_view` on hot paths — it memoizes the
+        result on the instance, which pays off when the region cache
+        reuses one linearization across many reads.
         """
         n = len(self.chars)
         rev_successors: list[list[int]] = [[] for _ in range(n)]
@@ -150,6 +156,12 @@ class LinearizedGraph:
             dropped_hops=self.dropped_hops,
             hop_limit=self.hop_limit,
         )
+
+    def reversed_view(self) -> "LinearizedGraph":
+        """Memoized :meth:`reversed` — computed once per instance."""
+        if self._reversed is None:
+            self._reversed = self.reversed()
+        return self._reversed
 
 
 def linearize(graph: GenomeGraph,

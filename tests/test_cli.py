@@ -141,6 +141,69 @@ class TestMap:
         assert code == 0
         assert len(read_gaf(tmp_path / "out.gaf")) == 1
 
+    def test_map_reports_pipeline_stats(self, workspace, capsys,
+                                        tmp_path):
+        root, *_ = workspace
+        code = main([
+            "map", "--reference", str(root / "ref.fa"),
+            "--reads", str(root / "reads.fq"),
+            "--output", str(tmp_path / "out.gaf"),
+            "--error-rate", "0.02",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pipeline stages" in out
+        for stage in ("seed", "filter", "extract", "align", "select"):
+            assert stage in out
+        assert "seeded" in out
+        assert "hit rate" in out
+
+    def test_map_pipeline_flags(self, workspace, capsys, tmp_path):
+        """--jobs/--cache-size/--bucket-bits/--chaining/
+        --early-exit-distance all reach the mapper and results stay
+        identical to the default sequential run."""
+        root, *_ = workspace
+        code = main([
+            "map", "--reference", str(root / "ref.fa"),
+            "--reads", str(root / "reads.fq"),
+            "--output", str(tmp_path / "default.gaf"),
+            "--error-rate", "0.02",
+        ])
+        assert code == 0
+        capsys.readouterr()
+        code = main([
+            "map", "--reference", str(root / "ref.fa"),
+            "--reads", str(root / "reads.fq"),
+            "--output", str(tmp_path / "tuned.gaf"),
+            "--error-rate", "0.02",
+            "--jobs", "2", "--cache-size", "32",
+            "--bucket-bits", "12",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mapped 3/3" in out
+        assert "jobs=2" in out
+        default = [(r.query_name, r.path, r.matches)
+                   for r in read_gaf(tmp_path / "default.gaf")]
+        tuned = [(r.query_name, r.path, r.matches)
+                 for r in read_gaf(tmp_path / "tuned.gaf")]
+        assert tuned == default
+
+    def test_map_chaining_and_early_exit(self, workspace, capsys,
+                                         tmp_path):
+        root, *_ = workspace
+        code = main([
+            "map", "--reference", str(root / "ref.fa"),
+            "--reads", str(root / "reads.fq"),
+            "--output", str(tmp_path / "chained.gaf"),
+            "--error-rate", "0.02",
+            "--chaining", "--early-exit-distance", "0",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mapped 3/3" in out
+        assert len(read_gaf(tmp_path / "chained.gaf")) == 3
+
 
 class TestModel:
     def test_workload_report(self, capsys):

@@ -179,6 +179,37 @@ class TestConfigBehaviour:
         result = mapper.map_read(read, "early")
         assert result.mapped and result.distance == 0
 
+    def test_forward_wins_strand_ties(self):
+        """A read whose forward and reverse-complement orientations
+        both align at the same distance must report strand '+' — the
+        deterministic tie-break of the select stage."""
+        rng = random.Random(61)
+        fragment = random_reference(300, rng)
+        reference = (random_reference(3_000, rng) + fragment
+                     + random_reference(3_000, rng)
+                     + seqmod.reverse_complement(fragment)
+                     + random_reference(3_000, rng))
+        config = SeGraMConfig(
+            w=10, k=15, bucket_bits=12, error_rate=0.05,
+            windowing=WindowingConfig(window_size=128, overlap=48, k=16),
+            both_strands=True,
+        )
+        mapper = SeGraM.from_reference(reference, config=config,
+                                       max_node_length=4_000)
+        # Both orientations hit exactly (distance 0): forward at the
+        # fragment, reverse at its reverse complement.
+        result = mapper.map_read(fragment, "tie")
+        assert result.mapped
+        assert result.distance == 0
+        assert result.strand == "+"
+        # The reverse-complemented read also ties — and still reports
+        # '+', because its *forward* orientation hits the RC site.
+        rc_result = mapper.map_read(
+            seqmod.reverse_complement(fragment), "tie_rc")
+        assert rc_result.mapped
+        assert rc_result.distance == 0
+        assert rc_result.strand == "+"
+
     def test_both_strands(self, linear_mapper):
         reference, _ = linear_mapper
         config = SeGraMConfig(

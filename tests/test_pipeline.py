@@ -1,0 +1,266 @@
+"""Tests for the staged mapping pipeline engine.
+
+Covers the stage-statistics contract (regions seeded/chained/aligned,
+cache hit rate, per-stage time), the LRU region cache, the None-safe
+strand tie-break helper, and the batch/sequential parity guarantee of
+``SeGraM.map_batch``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.mapper import MappingResult, SeGraM, SeGraMConfig
+from repro.core.pipeline import (
+    STAGE_ORDER,
+    CachedRegion,
+    PipelineStats,
+    RegionCache,
+    best_of,
+)
+from repro.core.windows import WindowingConfig
+from repro.sim.errors import ErrorModel, apply_errors
+from repro.sim.reference import random_reference
+
+
+CONFIG = SeGraMConfig(
+    w=10, k=15, bucket_bits=12, error_rate=0.05,
+    windowing=WindowingConfig(window_size=128, overlap=48, k=16),
+    max_seeds_per_read=8,
+)
+
+
+def _noisy_reads(reference, count, rng, length=300, error=0.02):
+    reads = []
+    for i in range(count):
+        start = rng.randrange(0, len(reference) - length - 1)
+        sequence, _ = apply_errors(
+            reference[start:start + length],
+            ErrorModel.illumina(error), rng,
+        )
+        reads.append((f"read{i}", sequence))
+    return reads
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = random.Random(97)
+    reference = random_reference(25_000, rng)
+    reads = _noisy_reads(reference, 12, rng)
+    return reference, reads
+
+
+def _fresh_mapper(reference, **overrides):
+    config = SeGraMConfig(
+        w=CONFIG.w, k=CONFIG.k, bucket_bits=CONFIG.bucket_bits,
+        error_rate=CONFIG.error_rate, windowing=CONFIG.windowing,
+        max_seeds_per_read=CONFIG.max_seeds_per_read, **overrides,
+    )
+    return SeGraM.from_reference(reference, config=config,
+                                 max_node_length=4_000)
+
+
+def _result_key(result: MappingResult):
+    return (result.read_name, result.mapped, result.distance,
+            result.cigar, result.node_id, result.node_offset,
+            result.path_nodes, result.linear_position, result.strand,
+            result.regions_aligned)
+
+
+class TestPipelineStats:
+    def test_stage_counters_after_mapping(self, workload):
+        reference, reads = workload
+        mapper = _fresh_mapper(reference)
+        for name, sequence in reads[:4]:
+            mapper.map_read(sequence, name)
+        stats = mapper.pipeline.stats
+        assert stats.reads == 4
+        assert stats.reads_mapped == 4
+        assert stats.regions_seeded > 0
+        assert stats.regions_chained > 0
+        assert stats.regions_aligned > 0
+        assert stats.regions_chained <= stats.regions_seeded
+        assert stats.regions_aligned <= stats.regions_chained
+        assert stats.windows > 0
+        assert tuple(stats.stages) == STAGE_ORDER
+        seed, align = stats.stage("seed"), stats.stage("align")
+        assert seed.items_in == 4
+        assert seed.items_out == stats.regions_seeded
+        assert align.items_in == stats.regions_chained
+        assert align.items_out == stats.regions_aligned
+        assert align.items_in == align.items_out + align.dropped
+        for stage in stats.stages.values():
+            assert stage.seconds >= 0.0
+        # Aggregate seeding counters fold every read's stats together.
+        assert stats.seeding.minimizer_count >= \
+            stats.seeding.surviving_minimizers
+
+    def test_stage_rows_and_summary(self, workload):
+        reference, reads = workload
+        mapper = _fresh_mapper(reference)
+        mapper.map_read(reads[0][1], reads[0][0])
+        stats = mapper.pipeline.stats
+        rows = stats.stage_rows()
+        assert [row["stage"] for row in rows] == list(STAGE_ORDER)
+        assert all({"in", "out", "dropped", "seconds"} <= set(row)
+                   for row in rows)
+        summary = "\n".join(stats.summary_lines())
+        assert "seeded" in summary and "hit rate" in summary
+
+    def test_merge_sums_counters(self):
+        a, b = PipelineStats.empty(), PipelineStats.empty()
+        a.reads, b.reads = 2, 3
+        a.cache_hits, b.cache_hits = 1, 4
+        a.stage("align").items_in = 5
+        b.stage("align").items_in = 7
+        b.stage("align").seconds = 0.5
+        a.merge(b)
+        assert a.reads == 5
+        assert a.cache_hits == 5
+        assert a.stage("align").items_in == 12
+        assert a.stage("align").seconds == pytest.approx(0.5)
+
+    def test_early_exit_reported_as_dropped(self, workload):
+        reference, _ = workload
+        mapper = _fresh_mapper(reference, early_exit_distance=0)
+        read = reference[4_000:4_300]
+        result = mapper.map_read(read, "exact")
+        assert result.distance == 0
+        stats = mapper.pipeline.stats
+        assert stats.regions_aligned < stats.regions_chained
+        assert stats.stage("align").dropped == \
+            stats.regions_chained - stats.regions_aligned
+
+
+class TestRegionCache:
+    def test_repeat_read_hits_cache(self, workload):
+        reference, _ = workload
+        mapper = _fresh_mapper(reference)
+        read = reference[6_000:6_400]
+        first = mapper.map_read(read, "dup")
+        assert mapper.pipeline.stats.cache_hits == 0
+        second = mapper.map_read(read, "dup")
+        stats = mapper.pipeline.stats
+        assert stats.cache_hits > 0
+        assert stats.cache_hit_rate > 0.0
+        assert _result_key(first) == _result_key(second)
+
+    def test_cache_disabled(self, workload):
+        reference, _ = workload
+        mapper = _fresh_mapper(reference, region_cache_size=0)
+        read = reference[6_000:6_400]
+        mapper.map_read(read, "dup")
+        mapper.map_read(read, "dup")
+        assert mapper.pipeline.stats.cache_hits == 0
+        assert len(mapper.pipeline.cache) == 0
+
+    def test_lru_eviction(self):
+        cache = RegionCache(capacity=2)
+        entries = {k: CachedRegion(lin=None, original_ids=[],
+                                   offsets=[]) for k in "abc"}
+        cache.store(("a",), entries["a"])
+        cache.store(("b",), entries["b"])
+        assert cache.lookup(("a",)) is entries["a"]  # refresh "a"
+        cache.store(("c",), entries["c"])            # evicts "b"
+        assert cache.lookup(("b",)) is None
+        assert cache.lookup(("a",)) is entries["a"]
+        assert cache.lookup(("c",)) is entries["c"]
+        assert len(cache) == 2
+
+    def test_zero_capacity_stores_nothing(self):
+        cache = RegionCache(capacity=0)
+        cache.store(("a",), CachedRegion(lin=None, original_ids=[],
+                                         offsets=[]))
+        assert len(cache) == 0
+        assert cache.lookup(("a",)) is None
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            RegionCache(capacity=-1)
+
+
+def _mapped(strand: str, distance: int | None) -> MappingResult:
+    return MappingResult(read_name="r", read_length=100, mapped=True,
+                         distance=distance, strand=strand)
+
+
+def _unmapped(strand: str) -> MappingResult:
+    return MappingResult(read_name="r", read_length=100, mapped=False,
+                         strand=strand)
+
+
+class TestBestOf:
+    def test_no_reverse(self):
+        forward = _mapped("+", 3)
+        assert best_of(forward, None) is forward
+
+    def test_unmapped_reverse_never_wins(self):
+        forward = _unmapped("+")
+        assert best_of(forward, _unmapped("-")) is forward
+
+    def test_mapped_reverse_beats_unmapped_forward(self):
+        reverse = _mapped("-", 9)
+        assert best_of(_unmapped("+"), reverse) is reverse
+
+    def test_lower_distance_wins(self):
+        assert best_of(_mapped("+", 5), _mapped("-", 2)).strand == "-"
+        assert best_of(_mapped("+", 1), _mapped("-", 2)).strand == "+"
+
+    def test_forward_wins_ties(self):
+        assert best_of(_mapped("+", 0), _mapped("-", 0)).strand == "+"
+        assert best_of(_mapped("+", 7), _mapped("-", 7)).strand == "+"
+
+    def test_none_distance_is_safe(self):
+        # A mapped result with no distance loses to one with a real
+        # distance — and never trips a None comparison.
+        assert best_of(_mapped("+", None), _mapped("-", 4)).strand == "-"
+        assert best_of(_mapped("+", 4), _mapped("-", None)).strand == "+"
+        assert best_of(_mapped("+", None),
+                       _mapped("-", None)).strand == "+"
+
+
+class TestBatchParity:
+    """`map_batch(reads, jobs=N)` must be bit-for-bit identical to a
+    sequential `map_read` loop for every N, with and without the
+    region cache."""
+
+    @pytest.fixture(scope="class")
+    def sequential(self, workload):
+        reference, reads = workload
+        mapper = _fresh_mapper(reference)
+        return [mapper.map_read(sequence, name)
+                for name, sequence in reads]
+
+    @pytest.mark.parametrize("jobs", [1, 2, 4])
+    @pytest.mark.parametrize("cache_size", [0, 128])
+    def test_parity(self, workload, sequential, jobs, cache_size):
+        reference, reads = workload
+        mapper = _fresh_mapper(reference,
+                               region_cache_size=cache_size)
+        batch = mapper.map_batch(reads, jobs=jobs)
+        assert [_result_key(r) for r in batch] == \
+            [_result_key(r) for r in sequential]
+
+    def test_batch_merges_worker_stats(self, workload):
+        reference, reads = workload
+        mapper = _fresh_mapper(reference)
+        mapper.map_batch(reads, jobs=2)
+        stats = mapper.stats
+        assert stats.reads == len(reads)
+        assert stats.reads_mapped > 0
+        assert stats.regions_aligned > 0
+        assert stats.stage("seed").items_in == len(reads)
+
+    def test_map_reads_jobs_passthrough(self, workload):
+        reference, reads = workload
+        mapper = _fresh_mapper(reference)
+        results = mapper.map_reads(reads[:4], jobs=2)
+        assert [r.read_name for r in results] == \
+            [name for name, _ in reads[:4]]
+
+    def test_empty_batch(self, workload):
+        reference, _ = workload
+        mapper = _fresh_mapper(reference)
+        assert mapper.map_batch([], jobs=4) == []
