@@ -15,6 +15,33 @@ GenASM/BitAlign — used by the test suite to cross-validate the
 
 from __future__ import annotations
 
+#: 1-active mask of a text character that occurs nowhere in the
+#: pattern: no bit set, so it can never extend a match.  This is the
+#: explicit mirror of the all-ones default that the 0-active side uses
+#: (``pattern_bitmasks`` in :mod:`repro.align.genasm`, consumed by
+#: :mod:`repro.core.bitalign` as ``masks.get(char, mask)``), and it
+#: doubles as the N/any-char policy shared by the whole library:
+#: every character — ``N`` included — is a *literal*.  ``N`` matches a
+#: pattern ``N`` and mismatches everything else; a text character
+#: absent from the pattern (an ``N`` read against an ACGT pattern, a
+#: lowercase base against an uppercase pattern) matches nothing and
+#: costs an edit.
+ABSENT_CHAR_MASK = 0
+
+
+def pattern_masks_1active(pattern: str) -> dict[str, int]:
+    """Bitap pattern bitmasks: bit ``j`` set iff ``pattern[j] == c``.
+
+    Characters absent from the pattern must resolve to
+    :data:`ABSENT_CHAR_MASK`; callers look masks up with
+    ``masks.get(char, ABSENT_CHAR_MASK)`` so the policy is explicit at
+    every use site.
+    """
+    masks: dict[str, int] = {}
+    for j, char in enumerate(pattern):
+        masks[char] = masks.get(char, ABSENT_CHAR_MASK) | (1 << j)
+    return masks
+
 
 def bitap_search(text: str, pattern: str, k: int) -> list[tuple[int, int]]:
     """Find approximate occurrences of ``pattern`` in ``text``.
@@ -34,18 +61,14 @@ def bitap_search(text: str, pattern: str, k: int) -> list[tuple[int, int]]:
     m = len(pattern)
     mask = (1 << m) - 1
     accept = 1 << (m - 1)
-
-    # Pattern bitmasks: bit j set iff pattern[j] == char.
-    pattern_masks: dict[str, int] = {}
-    for j, char in enumerate(pattern):
-        pattern_masks[char] = pattern_masks.get(char, 0) | (1 << j)
+    pattern_masks = pattern_masks_1active(pattern)
 
     # R[d] starts as the "d leading errors" state: with d edits you can
     # already have matched up to d pattern characters (via insertions).
     r = [(1 << d) - 1 for d in range(k + 1)]
     matches: list[tuple[int, int]] = []
     for i, char in enumerate(text):
-        char_mask = pattern_masks.get(char, 0)
+        char_mask = pattern_masks.get(char, ABSENT_CHAR_MASK)
         old = r[0]
         r[0] = (((old << 1) | 1) & char_mask) & mask
         previous_old = old

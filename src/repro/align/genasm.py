@@ -136,7 +136,22 @@ def genasm_align(text: str, pattern: str, k: int) -> GenasmAlignment | None:
             text_start=-1,
             text_end=len(text),
         )
-    all_r = _generate(text, pattern, k)
+    return traceback_alignment(_generate(text, pattern, k), text,
+                               pattern, start, distance)
+
+
+def traceback_alignment(all_r, text: str, pattern: str,
+                        start: int, distance: int) -> GenasmAlignment:
+    """Traceback from precomputed status bitvectors.
+
+    ``all_r`` may be any indexable of per-position bitvector rows
+    (``all_r[i][d]`` an int; positions ``0..len(text)``, the last being
+    the virtual row) — the list built by :func:`_generate` or the
+    packed row view of :mod:`repro.align.bitalign_packed`.  ``start``
+    must be an accepting position for ``distance`` (``start <
+    len(text)``); use :func:`genasm_align` for the degenerate
+    pure-insertion case.
+    """
     m = len(pattern)
     n = len(text)
     mask = (1 << m) - 1

@@ -21,6 +21,7 @@ import sys
 from pathlib import Path
 from typing import Sequence
 
+from repro.align.backends import list_backends
 from repro.core.mapper import SeGraM, SeGraMConfig
 from repro.core.pipeline import effective_jobs
 from repro.core.windows import WindowingConfig
@@ -87,6 +88,11 @@ def build_parser() -> argparse.ArgumentParser:
     map_cmd.add_argument("--cache-size", type=int, default=128,
                          help="LRU region-cache capacity in regions "
                               "(0 disables; default 128)")
+    map_cmd.add_argument("--align-backend", choices=list_backends(),
+                         default=None,
+                         help="alignment backend (default: "
+                              "$REPRO_ALIGN_BACKEND, else 'python'; "
+                              "results are identical across backends)")
 
     stats = sub.add_parser("stats", help="graph statistics")
     stats.add_argument("--graph", required=True, type=Path)
@@ -180,6 +186,7 @@ def cmd_map(args: argparse.Namespace) -> int:
         chaining=args.chaining,
         early_exit_distance=args.early_exit_distance,
         region_cache_size=args.cache_size,
+        align_backend=args.align_backend,
     )
     mapper = SeGraM.from_reference(reference, variants, config=config,
                                    name=ref_name,
@@ -201,8 +208,10 @@ def cmd_map(args: argparse.Namespace) -> int:
           f"({args.format})")
     stats = mapper.stats
     jobs = effective_jobs(args.jobs, len(reads))
-    print(format_table(stats.stage_rows(),
-                       title=f"pipeline stages (jobs={jobs})"))
+    print(format_table(
+        stats.stage_rows(),
+        title=f"pipeline stages (jobs={jobs}, "
+              f"backend={stats.backend})"))
     for line in stats.summary_lines():
         print(f"  {line}")
     return 0

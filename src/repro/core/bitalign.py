@@ -262,6 +262,7 @@ def bitalign(
     pattern: str,
     k: int,
     anchors: list[int] | None = None,
+    backend=None,
 ) -> BitAlignResult | None:
     """Full BitAlign: bitvector generation plus traceback.
 
@@ -273,6 +274,13 @@ def bitalign(
         anchors: optional restriction of the allowed start positions —
             the windowed aligner uses this to chain a window onto the
             successors of the previous window's endpoint.
+        backend: optional alignment backend (name, instance, or None
+            for the reference recurrence) — see
+            :mod:`repro.align.backends`.  When the window is a plain
+            chain (no hops), the backend's packed kernel generates the
+            bitvectors; the recurrence is identical, so results are
+            bit-for-bit the same for every backend.  Graph windows
+            with hops always use the reference recurrence.
 
     Returns:
         The best alignment, or None when no alignment within ``k``
@@ -287,8 +295,18 @@ def bitalign(
                 reference="",
             )
         return None
-    all_r = generate_bitvectors(lin, pattern, k)
-    located = _best_start(all_r, len(pattern), k, candidates=anchors)
+    all_r = None
+    if backend is not None:
+        from repro.align.backends import resolve_backend
+
+        resolved = resolve_backend(backend)
+        if resolved.provides_chain_kernel and lin.is_chain():
+            all_r = resolved.chain_bitvectors(lin.chars, pattern, k)
+    if all_r is None:
+        all_r = generate_bitvectors(lin, pattern, k)
+        located = _best_start(all_r, len(pattern), k, candidates=anchors)
+    else:
+        located = all_r.best_start(candidates=anchors)
     if located is None:
         return None
     budget, start = located

@@ -67,6 +67,11 @@ class SeGraMConfig:
         region_cache_size: capacity (in regions) of the LRU cache that
             memoizes ``extract_region`` + ``linearize`` per
             ``(start, end, hop_limit)`` span; 0 disables caching.
+        align_backend: alignment-backend name from
+            :func:`repro.align.backends.list_backends` (``"python"``
+            or ``"numpy"``), or None for the process default
+            (``$REPRO_ALIGN_BACKEND``, else ``"python"``).  Mapping
+            results are bit-for-bit identical across backends.
     """
 
     w: int = 10
@@ -81,6 +86,7 @@ class SeGraMConfig:
     both_strands: bool = False
     chaining: bool = False
     region_cache_size: int = 128
+    align_backend: str | None = None
 
 
 @dataclass
@@ -157,7 +163,8 @@ class SeGraM:
             error_rate=self.config.error_rate,
             freq_top_fraction=self.config.freq_top_fraction,
         )
-        self.aligner = WindowedAligner(self.config.windowing)
+        self.aligner = WindowedAligner(self.config.windowing,
+                                       backend=self.config.align_backend)
         self.pipeline = MappingPipeline(
             graph=self.graph, config=self.config,
             minseed=self.minseed, aligner=self.aligner,

@@ -107,6 +107,9 @@ class PipelineStats:
     cache_misses: int = 0
     windows: int = 0
     rescues: int = 0
+    #: Alignment-backend name the pipeline ran with (a configuration
+    #: label, not a counter — results are backend-independent).
+    backend: str = "python"
     seeding: SeedingStats = field(default_factory=SeedingStats)
     stages: "OrderedDict[str, StageStats]" = field(default_factory=OrderedDict)
 
@@ -128,6 +131,8 @@ class PipelineStats:
         return self.cache_hits / total if total else 0.0
 
     def merge(self, other: "PipelineStats") -> None:
+        # ``backend`` is a label: shards inherit the parent's pipeline
+        # configuration, so keeping the receiver's value is exact.
         self.reads += other.reads
         self.reads_mapped += other.reads_mapped
         self.regions_seeded += other.regions_seeded
@@ -160,7 +165,7 @@ class PipelineStats:
             f"{self.cache_misses} misses "
             f"(hit rate {self.cache_hit_rate:.1%})",
             f"alignment work: {self.windows} windows, "
-            f"{self.rescues} rescues",
+            f"{self.rescues} rescues (backend: {self.backend})",
         ]
 
 
@@ -515,13 +520,16 @@ class MappingPipeline:
         self.aligner = aligner
         self.built = built
         self.cache = RegionCache(config.region_cache_size)
-        self.stats = PipelineStats.empty()
         self.stages = (SeedStage(), ChainFilterStage(), ExtractStage(),
                        AlignStage())
         self.select = SelectStage()
+        self.reset_stats()
 
     def reset_stats(self) -> None:
         self.stats = PipelineStats.empty()
+        backend_name = getattr(self.aligner, "backend_name", None)
+        if backend_name is not None:
+            self.stats.backend = backend_name
 
     def map_read(self, read: str, name: str) -> "MappingResult":
         """Map one (validated) read through the staged pipeline."""

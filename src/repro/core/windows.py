@@ -151,10 +151,29 @@ class _Extension:
 
 
 class WindowedAligner:
-    """Aligns arbitrarily long reads against a linearized subgraph."""
+    """Aligns arbitrarily long reads against a linearized subgraph.
 
-    def __init__(self, config: WindowingConfig | None = None) -> None:
+    Args:
+        config: windowing parameters.
+        backend: alignment backend selection (a name from
+            :func:`repro.align.backends.list_backends`, a backend
+            instance, or None for the process default).  The backend
+            supplies the bitvector-generation kernel for hop-free
+            windows; results are bit-for-bit identical across
+            backends.
+    """
+
+    def __init__(self, config: WindowingConfig | None = None,
+                 backend=None) -> None:
+        from repro.align.backends import resolve_backend
+
         self.config = config or WindowingConfig()
+        self.backend = resolve_backend(backend)
+
+    @property
+    def backend_name(self) -> str:
+        """Registry name of the active alignment backend."""
+        return self.backend.name
 
     def align(
         self,
@@ -291,7 +310,8 @@ class WindowedAligner:
                     window = lin.slice(base, text_end)
                     local_anchors = [a - base for a in anchors
                                      if a - base < len(window)]
-                result = bitalign(window, chunk, k, anchors=local_anchors)
+                result = bitalign(window, chunk, k, anchors=local_anchors,
+                                  backend=self.backend)
                 if result is not None:
                     break
                 if k >= len(chunk):

@@ -29,6 +29,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro.align.bitalign_packed import PackedLayout
 from repro.hw.config import BitAlignUnitConfig
 
 #: Slope of the per-window cycle model, in cycles per 64 window chars.
@@ -77,6 +78,16 @@ class BitAlignCycleModel:
     # Scratchpad / bandwidth accounting
     # ------------------------------------------------------------------
 
+    def packed_layout(self, window_bits: int | None = None) -> PackedLayout:
+        """Word-packed layout of one R[d] bitvector at this window
+        width — the same machine-word layout the numpy alignment
+        backend uses (:mod:`repro.align.bitalign_packed`), so the
+        cycle model and the software fast path account storage
+        identically."""
+        bits = self.config.bits_per_pe if window_bits is None \
+            else window_bits
+        return PackedLayout(bits)
+
     def bitvectors_stored_per_window(self, k: int) -> int:
         """R[d] bitvectors stored for traceback: (k+1) per window
         character (Algorithm 1 stores allR[n][d])."""
@@ -85,10 +96,14 @@ class BitAlignCycleModel:
         return (k + 1) * self.config.bits_per_pe
 
     def scratchpad_write_bytes_per_cycle(self) -> int:
-        """Per-cycle scratchpad traffic: each PE writes one bitvector
-        (16 B at W=128) to its bitvector scratchpad and hop queue
-        (paper Section 8.2)."""
-        return self.config.bitvector_bytes * self.config.pe_count
+        """Per-cycle scratchpad traffic: each PE writes one word-packed
+        bitvector (2 x 64-bit words = 16 B at W=128) to its bitvector
+        scratchpad and hop queue (paper Section 8.2).  Storage is read
+        off the packed layout, so non-word-multiple window widths are
+        charged for their padded words, as a machine-word datapath
+        would."""
+        return self.packed_layout().bytes_per_bitvector * \
+            self.config.pe_count
 
     def memory_footprint_saving_vs_genasm(self) -> float:
         """The store-R[d]-only design stores 1 instead of 3 bitvectors

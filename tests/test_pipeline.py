@@ -21,6 +21,7 @@ from repro.core.pipeline import (
     best_of,
 )
 from repro.core.windows import WindowingConfig
+from repro.io.gaf import result_to_gaf
 from repro.sim.errors import ErrorModel, apply_errors
 from repro.sim.reference import random_reference
 
@@ -264,3 +265,61 @@ class TestBatchParity:
         reference, _ = workload
         mapper = _fresh_mapper(reference)
         assert mapper.map_batch([], jobs=4) == []
+
+
+def _counter_key(stats: PipelineStats):
+    """Every pipeline counter except wall time."""
+    return (
+        stats.reads, stats.reads_mapped, stats.regions_seeded,
+        stats.regions_chained, stats.regions_aligned,
+        stats.cache_hits, stats.cache_misses, stats.windows,
+        stats.rescues,
+        tuple((name, s.items_in, s.items_out, s.dropped)
+              for name, s in stats.stages.items()),
+    )
+
+
+class TestBackendParity:
+    """`map_batch` over jobs x alignment backend: identical GAF
+    records and identical `PipelineStats` counters (wall time
+    excluded) — the bit-for-bit contract of the backend registry."""
+
+    @pytest.fixture(scope="class")
+    def per_backend(self, workload):
+        reference, reads = workload
+        outputs = {}
+        for backend in ("python", "numpy"):
+            mapper = _fresh_mapper(reference, align_backend=backend)
+            results = mapper.map_batch(reads, jobs=1)
+            gaf = [result_to_gaf(r, mapper.graph, seq)
+                   for r, (_, seq) in zip(results, reads)]
+            outputs[backend] = (results, gaf, mapper.stats)
+        return outputs
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    @pytest.mark.parametrize("backend", ["python", "numpy"])
+    def test_gaf_records_identical(self, workload, per_backend,
+                                   jobs, backend):
+        reference, reads = workload
+        mapper = _fresh_mapper(reference, align_backend=backend)
+        results = mapper.map_batch(reads, jobs=jobs)
+        baseline_results, baseline_gaf, _ = per_backend["python"]
+        assert [_result_key(r) for r in results] == \
+            [_result_key(r) for r in baseline_results]
+        gaf = [result_to_gaf(r, mapper.graph, seq)
+               for r, (_, seq) in zip(results, reads)]
+        assert gaf == baseline_gaf
+
+    def test_stats_counters_identical(self, per_backend):
+        _, _, python_stats = per_backend["python"]
+        _, _, numpy_stats = per_backend["numpy"]
+        assert _counter_key(python_stats) == _counter_key(numpy_stats)
+        assert python_stats.backend == "python"
+        assert numpy_stats.backend == "numpy"
+
+    def test_backend_label_survives_batch_merge(self, workload):
+        reference, reads = workload
+        mapper = _fresh_mapper(reference, align_backend="numpy")
+        mapper.map_batch(reads[:4], jobs=2)
+        assert mapper.stats.backend == "numpy"
+        assert "backend: numpy" in "\n".join(mapper.stats.summary_lines())
