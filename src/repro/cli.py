@@ -30,7 +30,7 @@ from repro.graph.builder import build_graph
 from repro.graph.gfa import read_gfa, write_gfa
 from repro.graph.linearize import hop_coverage, hop_length_distribution
 from repro.index.hash_index import build_index
-from repro.io.fasta import read_fasta, read_fastq
+from repro.io.fasta import read_fasta, read_sequences
 from repro.io.gaf import result_to_gaf, write_gaf
 from repro.io.sam import result_to_sam, write_sam
 from repro.io.vcf import read_vcf
@@ -64,10 +64,27 @@ def build_parser() -> argparse.ArgumentParser:
         "map", help="map reads to a reference (+ optional VCF)")
     map_cmd.add_argument("--reference", required=True, type=Path)
     map_cmd.add_argument("--vcf", type=Path, default=None)
-    map_cmd.add_argument("--reads", required=True, type=Path)
+    map_cmd.add_argument("--reads", required=True, type=Path,
+                         help="reads (FASTA/FASTQ); R1 when --paired "
+                              "is given")
+    map_cmd.add_argument("--paired", type=Path, default=None,
+                         metavar="R2",
+                         help="R2 mate file: map FR read pairs with "
+                              "insert-size scoring and mate rescue "
+                              "(forces --format sam)")
+    map_cmd.add_argument("--insert-mean", type=float, default=350.0,
+                         help="insert-size model mean (template "
+                              "length; default 350)")
+    map_cmd.add_argument("--insert-std", type=float, default=50.0,
+                         help="insert-size model std dev (default 50)")
+    map_cmd.add_argument("--no-mate-rescue", action="store_true",
+                         help="disable windowed mate rescue near a "
+                              "confidently mapped mate")
     map_cmd.add_argument("--output", required=True, type=Path)
     map_cmd.add_argument("--format", choices=("gaf", "sam"),
-                         default="gaf")
+                         default=None,
+                         help="output format (default: gaf, or sam "
+                              "with --paired)")
     map_cmd.add_argument("--error-rate", type=float, default=0.05)
     map_cmd.add_argument("-w", type=int, default=10)
     map_cmd.add_argument("-k", type=int, default=15)
@@ -121,10 +138,7 @@ def _load_reference(path: Path) -> tuple[str, str]:
 
 
 def _load_reads(path: Path):
-    text = path.read_text(encoding="ascii", errors="strict")
-    if text.lstrip().startswith("@"):
-        return [(r.name, r.sequence) for r in read_fastq(path)]
-    return [(r.name, r.sequence) for r in read_fasta(path)]
+    return read_sequences(path)
 
 
 def cmd_construct(args: argparse.Namespace) -> int:
@@ -191,12 +205,15 @@ def cmd_map(args: argparse.Namespace) -> int:
     mapper = SeGraM.from_reference(reference, variants, config=config,
                                    name=ref_name,
                                    max_node_length=4_096)
+    if args.paired is not None:
+        return _map_paired(args, mapper, ref_name, reference)
+    out_format = args.format or "gaf"
     reads = _load_reads(args.reads)
     mapped_reads = mapper.map_batch(reads, jobs=args.jobs)
     results = [(result, seq)
                for result, (_, seq) in zip(mapped_reads, reads)]
     mapped = sum(1 for r, _ in results if r.mapped)
-    if args.format == "gaf":
+    if out_format == "gaf":
         records = [result_to_gaf(r, mapper.graph, seq)
                    for r, seq in results]
         write_gaf(args.output, [r for r in records if r is not None])
@@ -205,7 +222,7 @@ def cmd_map(args: argparse.Namespace) -> int:
                    for r, seq in results]
         write_sam(args.output, records, ref_name, len(reference))
     print(f"mapped {mapped}/{len(reads)} reads -> {args.output} "
-          f"({args.format})")
+          f"({out_format})")
     stats = mapper.stats
     jobs = effective_jobs(args.jobs, len(reads))
     print(format_table(
@@ -213,6 +230,45 @@ def cmd_map(args: argparse.Namespace) -> int:
         title=f"pipeline stages (jobs={jobs}, "
               f"backend={stats.backend})"))
     for line in stats.summary_lines():
+        print(f"  {line}")
+    return 0
+
+
+def _map_paired(args: argparse.Namespace, mapper: SeGraM,
+                ref_name: str, reference: str) -> int:
+    """The ``map --paired`` flow: FR pairs to pair-aware SAM."""
+    from repro.core.pairing import PairedEndConfig
+    from repro.io.fasta import read_mate_pairs
+    from repro.io.sam import pair_to_sam
+
+    if args.format == "gaf":
+        print("note: --paired emits SAM (pair flags have no GAF "
+              "equivalent); writing SAM", file=sys.stderr)
+    pairs = [(name, r1.upper(), r2.upper())
+             for name, r1, r2 in read_mate_pairs(args.reads,
+                                                 args.paired)]
+    engine = mapper.pair_mapper(PairedEndConfig(
+        insert_mean=args.insert_mean,
+        insert_std=args.insert_std,
+        rescue=not args.no_mate_rescue,
+    ))
+    results = engine.map_pairs(pairs, jobs=args.jobs)
+    records = []
+    for pair, (_, read1, read2) in zip(results, pairs):
+        records.extend(pair_to_sam(pair, read1, read2, ref_name))
+    write_sam(args.output, records, ref_name, len(reference))
+    proper = sum(1 for pair in results if pair.proper)
+    print(f"mapped {proper}/{len(pairs)} proper pairs -> "
+          f"{args.output} (sam)")
+    stats = mapper.stats
+    jobs = effective_jobs(args.jobs, len(pairs))
+    print(format_table(
+        stats.stage_rows(),
+        title=f"pipeline stages (jobs={jobs}, "
+              f"backend={stats.backend})"))
+    for line in stats.summary_lines():
+        print(f"  {line}")
+    for line in engine.stats.summary_lines():
         print(f"  {line}")
     return 0
 

@@ -155,6 +155,29 @@ class Cigar:
 #: The empty CIGAR (zero operations).
 EMPTY_CIGAR = Cigar(())
 
+#: MAPQ bonus applied before clamping when a mate is part of a proper
+#: pair — concordant insert size and orientation corroborate the
+#: placement beyond what per-mate identity alone supports.
+PROPER_PAIR_MAPQ_BONUS = 5
+
+#: The SAM MAPQ ceiling this library emits.
+MAX_MAPQ = 60
+
+
+def mapq_from_identity(identity: float | None,
+                       proper_pair: bool = False) -> int:
+    """Phred-style mapping quality from alignment identity.
+
+    The single MAPQ policy for every writer (SAM, GAF, pair-aware SAM):
+    ``int(60 * identity)``, plus :data:`PROPER_PAIR_MAPQ_BONUS` when
+    the alignment is one mate of a proper pair, clamped to
+    ``[0, MAX_MAPQ]``.  ``None`` identity (unmapped) maps to 0.
+    """
+    scaled = int(MAX_MAPQ * (identity or 0.0))
+    if proper_pair:
+        scaled += PROPER_PAIR_MAPQ_BONUS
+    return max(0, min(MAX_MAPQ, scaled))
+
 
 def replay_alignment(cigar: Cigar, read: str, reference: str) -> int:
     """Re-execute a CIGAR against the read and the reference substring.

@@ -198,8 +198,13 @@ class SeGraM:
     # ------------------------------------------------------------------
 
     def map_read(self, read: str, name: str = "read") -> MappingResult:
-        """Map one read; returns the best alignment over all regions."""
-        read = seqmod.validate(read, "read")
+        """Map one read; returns the best alignment over all regions.
+
+        Reads may contain ``N`` (the read-side ambiguity policy of
+        :mod:`repro.seq`): seeding skips k-mers containing ``N`` and
+        each ``N`` costs one edit in alignment.
+        """
+        read = seqmod.validate(read, "read", allow_ambiguous=True)
         return self.pipeline.map_read(read, name)
 
     def map_reads(self, reads: Iterable[tuple[str, str]],
@@ -222,6 +227,34 @@ class SeGraM:
         the batch/sequential parity contract the tests enforce.
         """
         return map_batch_sharded(self, list(reads), jobs)
+
+    # ------------------------------------------------------------------
+    # Paired-end mapping
+    # ------------------------------------------------------------------
+
+    def pair_mapper(self, config=None):
+        """A :class:`~repro.core.pairing.PairedEndMapper` over this
+        mapper (insert-size scoring + mate rescue; see
+        :mod:`repro.core.pairing`)."""
+        from repro.core.pairing import PairedEndMapper
+
+        return PairedEndMapper(self, config)
+
+    def map_pair(self, read1: str, read2: str, name: str = "pair"):
+        """Map one FR read pair with the default pairing config."""
+        return self._default_pair_mapper().map_pair(read1, read2, name)
+
+    def map_pairs(self, pairs: Iterable[tuple[str, str, str]],
+                  jobs: int = 1):
+        """Map ``(name, read1, read2)`` pairs with the default pairing
+        config (``jobs > 1`` shards across forked workers)."""
+        return self._default_pair_mapper().map_pairs(list(pairs),
+                                                     jobs=jobs)
+
+    def _default_pair_mapper(self):
+        if getattr(self, "_pair_mapper", None) is None:
+            self._pair_mapper = self.pair_mapper()
+        return self._pair_mapper
 
     @property
     def stats(self) -> PipelineStats:

@@ -1,0 +1,447 @@
+"""Paired-end mapping driver: pair scoring and mate rescue.
+
+Illumina FR libraries sequence a fragment from both ends: mate 1
+forward, mate 2 reverse-complemented, with the fragment length (the
+*insert size*) following a library-specific distribution.  This module
+maps both mates through the staged pipeline (:mod:`repro.core.
+pipeline`), then treats pairing as a selection problem:
+
+1. **Candidate pairs** — each mate is mapped on both strands (stages
+   1-4 per orientation); every orientation combination of the two
+   mates is scored as ``d1 + d2 + insert_penalty``, where the penalty
+   is the Gaussian negative log-likelihood of the observed template
+   length in edit-distance units.  Combinations with *proper* FR
+   geometry (opposite strands, forward mate leftmost, template length
+   within ``insert_mean ± max_deviation * insert_std``) are always
+   preferred over improper ones — the pairing bonus of classical
+   short-read mappers.
+2. **Mate rescue** — when no proper combination exists but one mate
+   maps confidently, the other mate is searched for directly with a
+   windowed fitting alignment over the reference span where its
+   FR-consistent placement must lie (anchor position plus/minus the
+   maximum template length).  The search reuses the pluggable
+   alignment-backend registry (:mod:`repro.align.backends`) — the same
+   BitAlign kernel that serves the pipeline, pointed at the rescue
+   window, exactly the GenPairX co-design (PAPERS.md): rescue is one
+   more BitAlign dispatch, not a separate datapath.
+
+Rescue needs linear reference coordinates, so it activates when the
+mapper was built from a linear reference (:class:`~repro.graph.
+builder.BuiltGraph`); graph-only mappers still get candidate-pair
+scoring, minus rescue.  Batch mapping shards pairs across forked
+workers exactly like ``SeGraM.map_batch`` — results are identical to
+the sequential loop, and per-shard pipeline/pair statistics merge back
+into the parent.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from repro import seq as seqmod
+from repro.align.dp_linear import AlignmentSizeError
+from repro.core.mapper import MappingResult
+from repro.core.pipeline import ShardContext, run_sharded
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.mapper import SeGraM
+
+
+@dataclass(frozen=True)
+class PairedEndConfig:
+    """Insert-size model and pairing/rescue knobs.
+
+    Attributes:
+        insert_mean / insert_std: Gaussian insert-size model of the
+            library (template length, outer distance).
+        max_deviation: proper-pair window half-width in standard
+            deviations: a template length outside
+            ``insert_mean ± max_deviation * insert_std`` is improper.
+        rescue: enable mate rescue (windowed BitAlign near a
+            confidently mapped mate).
+        rescue_edit_fraction: rescue edit budget as a fraction of the
+            rescued mate's length.
+        min_anchor_identity: minimum alignment identity of a mate for
+            it to anchor a rescue of the other.
+    """
+
+    insert_mean: float = 350.0
+    insert_std: float = 50.0
+    max_deviation: float = 4.0
+    rescue: bool = True
+    rescue_edit_fraction: float = 0.15
+    min_anchor_identity: float = 0.75
+
+    def __post_init__(self) -> None:
+        if self.insert_mean <= 0:
+            raise ValueError("insert_mean must be positive")
+        if self.insert_std < 0:
+            raise ValueError("insert_std must be >= 0")
+        if self.max_deviation <= 0:
+            raise ValueError("max_deviation must be positive")
+        if not 0 < self.rescue_edit_fraction <= 1:
+            raise ValueError(
+                "rescue_edit_fraction must be in (0, 1]"
+            )
+
+    @property
+    def min_template_length(self) -> int:
+        return max(1, int(math.floor(
+            self.insert_mean - self.max_deviation * self.insert_std)))
+
+    @property
+    def max_template_length(self) -> int:
+        return int(math.ceil(
+            self.insert_mean + self.max_deviation * self.insert_std))
+
+    @property
+    def unpaired_penalty(self) -> int:
+        """Score penalty of an improper combination.
+
+        One more than the worst possible proper-pair insert penalty,
+        so a proper combination always outscores an improper one at
+        equal edit distances.
+        """
+        return int(round(self.max_deviation ** 2 / 2.0)) + 1
+
+    def insert_penalty(self, template_length: int) -> int:
+        """Gaussian NLL of a template length, in edit-distance units.
+
+        ``((tlen - mean) / std)^2 / 2`` rounded to an integer — 0 at
+        the mean, ~2 at two standard deviations.
+        """
+        if self.insert_std == 0:
+            return 0 if template_length == round(self.insert_mean) \
+                else self.unpaired_penalty
+        z = (template_length - self.insert_mean) / self.insert_std
+        return int(round(z * z / 2.0))
+
+
+@dataclass
+class PairStats:
+    """Pair-level counters, mergeable across batch shards."""
+
+    pairs: int = 0
+    pairs_proper: int = 0
+    pairs_both_mapped: int = 0
+    rescue_attempts: int = 0
+    rescue_hits: int = 0
+
+    @property
+    def proper_pair_rate(self) -> float:
+        return self.pairs_proper / self.pairs if self.pairs else 0.0
+
+    @property
+    def rescue_hit_rate(self) -> float:
+        return self.rescue_hits / self.rescue_attempts \
+            if self.rescue_attempts else 0.0
+
+    def merge(self, other: "PairStats") -> None:
+        self.pairs += other.pairs
+        self.pairs_proper += other.pairs_proper
+        self.pairs_both_mapped += other.pairs_both_mapped
+        self.rescue_attempts += other.rescue_attempts
+        self.rescue_hits += other.rescue_hits
+
+    def summary_lines(self) -> list[str]:
+        return [
+            f"pairs: {self.pairs} total, "
+            f"{self.pairs_both_mapped} both mates mapped, "
+            f"{self.pairs_proper} proper "
+            f"(rate {self.proper_pair_rate:.1%})",
+            f"mate rescue: {self.rescue_hits} hits / "
+            f"{self.rescue_attempts} attempts "
+            f"(hit rate {self.rescue_hit_rate:.1%})",
+        ]
+
+
+@dataclass
+class PairResult:
+    """The outcome of mapping one read pair.
+
+    Attributes:
+        name: fragment identifier.
+        mate1 / mate2: per-mate mapping results (``read_name`` carries
+            the ``/1`` / ``/2`` suffix).
+        proper: whether the selected pair has proper FR geometry and a
+            template length inside the configured window.
+        template_length: observed template length (outer distance) of
+            the selected pair; None unless both mates mapped with
+            linear positions.
+        score: combined pair score (``d1 + d2 + insert penalty``);
+            None unless both mates mapped.
+        rescued_mate: 1 or 2 when that mate's placement came from mate
+            rescue rather than its own seeding; None otherwise.
+    """
+
+    name: str
+    mate1: MappingResult
+    mate2: MappingResult
+    proper: bool = False
+    template_length: int | None = None
+    score: int | None = None
+    rescued_mate: int | None = None
+
+    @property
+    def both_mapped(self) -> bool:
+        return self.mate1.mapped and self.mate2.mapped
+
+
+@dataclass(frozen=True)
+class _Combo:
+    """One scored orientation combination of the two mates."""
+
+    mate1: MappingResult
+    mate2: MappingResult
+    proper: bool
+    template_length: int | None
+    score: int
+    rescued_mate: int | None = None
+
+    @property
+    def sort_key(self) -> tuple:
+        # Proper first, then lowest score, then un-rescued, then the
+        # enumeration order the caller appends in (stable sort).
+        return (not self.proper, self.score,
+                self.rescued_mate is not None)
+
+
+def _linear_span(result: MappingResult) -> tuple[int, int] | None:
+    """Reference interval ``[start, end)`` of a mapped result."""
+    if not result.mapped or result.linear_position is None \
+            or result.cigar is None:
+        return None
+    start = result.linear_position
+    return start, start + result.cigar.ref_consumed
+
+
+class PairedEndMapper:
+    """Maps read pairs through one :class:`~repro.core.mapper.SeGraM`.
+
+    Owns the pair-level configuration and statistics; pipeline-level
+    statistics keep accumulating in ``mapper.pipeline.stats`` (each
+    mate counts as one read).
+    """
+
+    def __init__(self, mapper: "SeGraM",
+                 config: PairedEndConfig | None = None) -> None:
+        self.mapper = mapper
+        self.config = config or PairedEndConfig()
+        self.stats = PairStats()
+        # Rescue searches the linear reference; spell it once.
+        self._reference = mapper.built.backbone_sequence() \
+            if mapper.built is not None else None
+
+    # ------------------------------------------------------------------
+    # Single pair
+    # ------------------------------------------------------------------
+
+    def map_pair(self, read1: str, read2: str,
+                 name: str = "pair") -> PairResult:
+        """Map one FR read pair; returns the best-scoring pairing."""
+        read1 = seqmod.validate(read1, "read 1", allow_ambiguous=True)
+        read2 = seqmod.validate(read2, "read 2", allow_ambiguous=True)
+        pipeline = self.mapper.pipeline
+        best1, fwd1, rev1 = pipeline.map_read_candidates(
+            read1, f"{name}/1")
+        best2, fwd2, rev2 = pipeline.map_read_candidates(
+            read2, f"{name}/2")
+
+        combos: list[_Combo] = []
+        for c1 in (fwd1, rev1):
+            for c2 in (fwd2, rev2):
+                combo = self._score_combo(c1, c2)
+                if combo is not None:
+                    combos.append(combo)
+
+        best_combo = min(combos, key=lambda c: c.sort_key) \
+            if combos else None
+        if self.config.rescue and \
+                (best_combo is None or not best_combo.proper):
+            combos.extend(self._rescue_combos(best1, best2,
+                                              read1, read2))
+            if combos:
+                best_combo = min(combos, key=lambda c: c.sort_key)
+
+        if best_combo is None:
+            result = PairResult(name=name, mate1=best1, mate2=best2)
+        else:
+            result = PairResult(
+                name=name,
+                mate1=best_combo.mate1, mate2=best_combo.mate2,
+                proper=best_combo.proper,
+                template_length=best_combo.template_length,
+                score=best_combo.score,
+                rescued_mate=best_combo.rescued_mate,
+            )
+            if best_combo.rescued_mate is not None:
+                self.stats.rescue_hits += 1
+        self.stats.pairs += 1
+        if result.both_mapped:
+            self.stats.pairs_both_mapped += 1
+        if result.proper:
+            self.stats.pairs_proper += 1
+        return result
+
+    # ------------------------------------------------------------------
+    # Scoring
+    # ------------------------------------------------------------------
+
+    def _score_combo(self, c1: MappingResult,
+                     c2: MappingResult,
+                     rescued_mate: int | None = None) -> _Combo | None:
+        """Score one orientation combination (None if unpaired)."""
+        span1 = _linear_span(c1)
+        span2 = _linear_span(c2)
+        if span1 is None or span2 is None:
+            return None
+        config = self.config
+        template = max(span1[1], span2[1]) - min(span1[0], span2[0])
+        proper = False
+        if c1.strand != c2.strand:
+            plus, minus = (span1, span2) if c1.strand == "+" \
+                else (span2, span1)
+            proper = (plus[0] <= minus[0]
+                      and config.min_template_length <= template
+                      <= config.max_template_length)
+        penalty = config.insert_penalty(template) if proper \
+            else config.unpaired_penalty
+        score = (c1.distance or 0) + (c2.distance or 0) + penalty
+        return _Combo(mate1=c1, mate2=c2, proper=proper,
+                      template_length=template, score=score,
+                      rescued_mate=rescued_mate)
+
+    # ------------------------------------------------------------------
+    # Mate rescue
+    # ------------------------------------------------------------------
+
+    def _rescue_combos(self, best1: MappingResult,
+                       best2: MappingResult, read1: str,
+                       read2: str) -> list[_Combo]:
+        """Try to rescue each mate near the other's best placement."""
+        combos: list[_Combo] = []
+        for anchor, read, rescued_index in (
+                (best1, read2, 2), (best2, read1, 1)):
+            if not self._anchor_is_confident(anchor):
+                continue
+            rescued = self._rescue_mate(anchor, read,
+                                        rescued_index)
+            if rescued is None:
+                continue
+            pair = (anchor, rescued) if rescued_index == 2 \
+                else (rescued, anchor)
+            combo = self._score_combo(*pair,
+                                      rescued_mate=rescued_index)
+            if combo is not None:
+                combos.append(combo)
+        return combos
+
+    def _anchor_is_confident(self, anchor: MappingResult) -> bool:
+        return (anchor.mapped
+                and anchor.linear_position is not None
+                and anchor.cigar is not None
+                and (anchor.identity or 0.0)
+                >= self.config.min_anchor_identity)
+
+    def _rescue_mate(self, anchor: MappingResult, read: str,
+                     rescued_index: int) -> MappingResult | None:
+        """Windowed BitAlign search for a mate near its anchor.
+
+        The rescued mate must sit on the opposite strand, inward of
+        the anchor (FR geometry), within the maximum template length —
+        one fitting alignment of the oriented mate over that reference
+        window, dispatched through the active alignment backend.
+        """
+        reference = self._reference
+        if reference is None:
+            return None
+        self.stats.rescue_attempts += 1
+        max_template = self.config.max_template_length
+        span = _linear_span(anchor)
+        assert span is not None  # _anchor_is_confident checked
+        if anchor.strand == "+":
+            lo = span[0]
+            hi = min(len(reference), lo + max_template)
+            pattern = seqmod.reverse_complement(read)
+            strand = "-"
+        else:
+            hi = min(len(reference), span[1])
+            lo = max(0, hi - max_template)
+            pattern = read
+            strand = "+"
+        window = reference[lo:hi]
+        if not window or not pattern:
+            return None
+        k = max(2, int(round(len(pattern)
+                             * self.config.rescue_edit_fraction)))
+        backend = self.mapper.aligner.backend
+        try:
+            aligned = backend.align(window, pattern, k)
+        except AlignmentSizeError:
+            return None
+        if aligned is None or aligned.start < 0:
+            return None
+        name = anchor.read_name.rsplit("/", 1)[0]
+        return MappingResult(
+            read_name=f"{name}/{rescued_index}",
+            read_length=len(read),
+            mapped=True,
+            distance=aligned.distance,
+            cigar=aligned.cigar,
+            linear_position=lo + aligned.start,
+            strand=strand,
+        )
+
+    # ------------------------------------------------------------------
+    # Batches
+    # ------------------------------------------------------------------
+
+    def map_pairs(self, pairs: Sequence[tuple[str, str, str]],
+                  jobs: int = 1) -> list[PairResult]:
+        """Map ``(name, read1, read2)`` pairs, optionally sharded.
+
+        ``jobs > 1`` forks worker processes exactly like
+        ``SeGraM.map_batch`` — the index (and spelled reference) are
+        shared copy-on-write, per-shard statistics merge back, and
+        results are identical to the sequential loop.
+        """
+        return map_pairs_sharded(self, list(pairs), jobs)
+
+
+# ----------------------------------------------------------------------
+# Batch engine
+# ----------------------------------------------------------------------
+
+class _PairShardContext(ShardContext):
+    """Shard context for ``PairedEndMapper.map_pairs``: pair-level
+    statistics travel alongside the pipeline statistics."""
+
+    def __init__(self, engine: "PairedEndMapper") -> None:
+        self.engine = engine
+
+    def map_items(self, pairs):
+        return [self.engine.map_pair(read1, read2, name)
+                for name, read1, read2 in pairs]
+
+    def reset_stats(self) -> None:
+        self.engine.mapper.pipeline.reset_stats()
+        self.engine.stats = PairStats()
+
+    def collect_stats(self):
+        return self.engine.mapper.pipeline.stats, self.engine.stats
+
+    def merge_stats(self, payload) -> None:
+        pipeline_stats, pair_stats = payload
+        self.engine.mapper.pipeline.stats.merge(pipeline_stats)
+        self.engine.stats.merge(pair_stats)
+
+
+def map_pairs_sharded(pair_mapper: "PairedEndMapper",
+                      pairs: Sequence[tuple[str, str, str]],
+                      jobs: int) -> list[PairResult]:
+    """Shard ``pairs`` across ``jobs`` forked workers via the shared
+    shard runner (:func:`repro.core.pipeline.run_sharded`): identical
+    results to sequential mapping, stats merged back."""
+    return run_sharded(_PairShardContext(pair_mapper), pairs, jobs)

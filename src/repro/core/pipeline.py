@@ -541,6 +541,25 @@ class MappingPipeline:
             )
         return self.select.run(forward, reverse, self)
 
+    def map_read_candidates(
+        self, read: str, name: str,
+    ) -> "tuple[MappingResult, MappingResult, MappingResult]":
+        """Map one read on *both* strands, exposing the candidates.
+
+        Returns ``(best, forward, reverse)``: the per-orientation
+        results of stages 1-4 plus the stage-5 selection over them.
+        The paired-end driver scores orientation combinations of the
+        two mates, so it needs both candidates, not only the winner;
+        ``best`` is identical to :meth:`map_read` under
+        ``both_strands=True`` (FR pairing always considers both).
+        """
+        forward = self._run_oriented(read, name, "+")
+        reverse = self._run_oriented(
+            seqmod.reverse_complement(read), name, "-",
+        )
+        best = self.select.run(forward, reverse, self)
+        return best, forward, reverse
+
     def _run_oriented(self, read: str, name: str,
                       strand: str) -> "MappingResult":
         item = ReadTask(name=name, sequence=read, strand=strand)
@@ -552,9 +571,6 @@ class MappingPipeline:
 # ----------------------------------------------------------------------
 # Batch engine
 # ----------------------------------------------------------------------
-
-_WORKER_MAPPER: "SeGraM | None" = None
-
 
 def effective_jobs(jobs: int, read_count: int) -> int:
     """Worker processes that will actually run for this batch.
@@ -568,56 +584,108 @@ def effective_jobs(jobs: int, read_count: int) -> int:
     return jobs
 
 
-def _worker_init(mapper: "SeGraM") -> None:
-    """Pool initializer: adopt the (forked) mapper."""
-    global _WORKER_MAPPER
-    _WORKER_MAPPER = mapper
+class ShardContext:
+    """What the generic shard runner needs from a mapping engine.
+
+    One context instance is shared with forked workers copy-on-write;
+    ``map_items`` runs both in the parent (sequential fallback) and in
+    workers, where it is preceded by ``reset_stats`` so each shard's
+    statistics are accounted exactly once, then shipped back via the
+    picklable ``collect_stats`` payload and folded into the parent
+    with ``merge_stats``.
+    """
+
+    def map_items(self, items: Sequence) -> list:
+        raise NotImplementedError
+
+    def reset_stats(self) -> None:
+        raise NotImplementedError
+
+    def collect_stats(self):
+        raise NotImplementedError
+
+    def merge_stats(self, payload) -> None:
+        raise NotImplementedError
 
 
-def _worker_map_shard(reads):
-    mapper = _WORKER_MAPPER
-    assert mapper is not None, "worker pool not initialized"
+_WORKER_CONTEXT: "ShardContext | None" = None
+
+
+def _shard_worker_init(context: ShardContext) -> None:
+    """Pool initializer: adopt the (forked) shard context."""
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = context
+
+
+def _shard_worker_run(items):
+    context = _WORKER_CONTEXT
+    assert context is not None, "worker pool not initialized"
     # One worker may process several shards: account each separately.
-    mapper.pipeline.reset_stats()
-    results = [mapper.map_read(sequence, name)
-               for name, sequence in reads]
-    return results, mapper.pipeline.stats
+    context.reset_stats()
+    return context.map_items(items), context.collect_stats()
+
+
+def run_sharded(context: ShardContext, items: Sequence,
+                jobs: int) -> list:
+    """Shard ``items`` across ``jobs`` forked workers.
+
+    Contiguous shards keep neighbouring items (and therefore their
+    overlapping candidate regions) on the same worker's region cache.
+    The parent's index — and any warmth already in its region cache —
+    is shared with the workers copy-on-write via ``fork``; per-shard
+    statistics are merged back through the context.  Results are
+    returned in input order and are identical to a sequential
+    ``map_items`` loop.
+    """
+    items = list(items)
+    requested = jobs
+    jobs = effective_jobs(jobs, len(items))
+    if jobs == 1:
+        if requested > 1 and len(items) > 1:
+            warnings.warn(
+                "multiprocessing start method 'fork' is unavailable "
+                "on this platform; mapping sequentially",
+                RuntimeWarning, stacklevel=3,
+            )
+        return context.map_items(items)
+    chunk = math.ceil(len(items) / jobs)
+    shards = [items[i * chunk:(i + 1) * chunk] for i in range(jobs)
+              if items[i * chunk:(i + 1) * chunk]]
+    ctx = multiprocessing.get_context("fork")
+    with ctx.Pool(processes=len(shards),
+                  initializer=_shard_worker_init,
+                  initargs=(context,)) as pool:
+        outputs = pool.map(_shard_worker_run, shards)
+    results: list = []
+    for shard_results, payload in outputs:
+        results.extend(shard_results)
+        context.merge_stats(payload)
+    return results
+
+
+class _ReadShardContext(ShardContext):
+    """Shard context for single-end ``map_batch``."""
+
+    def __init__(self, mapper: "SeGraM") -> None:
+        self.mapper = mapper
+
+    def map_items(self, reads):
+        return [self.mapper.map_read(sequence, name)
+                for name, sequence in reads]
+
+    def reset_stats(self) -> None:
+        self.mapper.pipeline.reset_stats()
+
+    def collect_stats(self) -> PipelineStats:
+        return self.mapper.pipeline.stats
+
+    def merge_stats(self, payload: PipelineStats) -> None:
+        self.mapper.pipeline.stats.merge(payload)
 
 
 def map_batch_sharded(mapper: "SeGraM",
                       reads: Sequence[tuple[str, str]],
                       jobs: int) -> "list[MappingResult]":
-    """Shard ``reads`` across ``jobs`` forked workers.
-
-    Contiguous shards keep neighbouring reads (and therefore their
-    overlapping candidate regions) on the same worker's region cache.
-    The parent's index — and any warmth already in its region cache —
-    is shared with the workers copy-on-write via ``fork``; per-shard
-    :class:`PipelineStats` are merged back into the parent pipeline.
-    Results are returned in input order and are identical to a
-    sequential ``map_read`` loop.
-    """
-    reads = list(reads)
-    requested = jobs
-    jobs = effective_jobs(jobs, len(reads))
-    if jobs == 1:
-        if requested > 1 and len(reads) > 1:
-            warnings.warn(
-                "multiprocessing start method 'fork' is unavailable "
-                "on this platform; mapping sequentially",
-                RuntimeWarning, stacklevel=2,
-            )
-        return [mapper.map_read(sequence, name)
-                for name, sequence in reads]
-    chunk = math.ceil(len(reads) / jobs)
-    shards = [reads[i * chunk:(i + 1) * chunk] for i in range(jobs)
-              if reads[i * chunk:(i + 1) * chunk]]
-    ctx = multiprocessing.get_context("fork")
-    with ctx.Pool(processes=len(shards), initializer=_worker_init,
-                  initargs=(mapper,)) as pool:
-        outputs = pool.map(_worker_map_shard, shards)
-    results: "list[MappingResult]" = []
-    for shard_results, shard_stats in outputs:
-        results.extend(shard_results)
-        mapper.pipeline.stats.merge(shard_stats)
-    return results
+    """Shard ``reads`` across ``jobs`` forked workers (see
+    :func:`run_sharded` for the sharing/merging contract)."""
+    return run_sharded(_ReadShardContext(mapper), reads, jobs)

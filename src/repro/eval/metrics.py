@@ -8,10 +8,14 @@ metrics quantify that on simulated reads with known ground truth.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.core.mapper import MappingResult
 from repro.sim.longread import SimulatedLinearRead
+
+if TYPE_CHECKING:  # only needed for hints
+    from repro.core.pairing import PairResult
+    from repro.sim.pairedend import SimulatedFragment
 
 
 @dataclass(frozen=True)
@@ -71,3 +75,90 @@ def evaluate_linear_mappings(
             correct += 1
     return MappingAccuracy(total=len(results), mapped=mapped,
                            correct=correct)
+
+
+@dataclass(frozen=True)
+class PairedAccuracy:
+    """Aggregate paired-end mapping-quality counters.
+
+    Attributes:
+        total_pairs: pairs evaluated.
+        proper_pairs: pairs reported with proper FR geometry.
+        mates_mapped: mates (out of ``2 * total_pairs``) with any
+            reported alignment.
+        mates_correct: mates placed within tolerance of their
+            simulated origin.
+        pairs_correct: pairs with *both* mates placed correctly.
+    """
+
+    total_pairs: int
+    proper_pairs: int
+    mates_mapped: int
+    mates_correct: int
+    pairs_correct: int
+
+    @property
+    def proper_pair_rate(self) -> float:
+        return self.proper_pairs / self.total_pairs \
+            if self.total_pairs else 0.0
+
+    @property
+    def mate_accuracy(self) -> float:
+        """Fraction of all mates placed correctly."""
+        total = 2 * self.total_pairs
+        return self.mates_correct / total if total else 0.0
+
+    @property
+    def pair_accuracy(self) -> float:
+        """Fraction of pairs with both mates placed correctly."""
+        return self.pairs_correct / self.total_pairs \
+            if self.total_pairs else 0.0
+
+
+def _mate_correct(result: MappingResult,
+                  truth: SimulatedLinearRead,
+                  tolerance: int) -> bool:
+    return (result.mapped
+            and result.linear_position is not None
+            and abs(result.linear_position - truth.ref_start)
+            <= tolerance)
+
+
+def evaluate_paired_mappings(
+    pairs: "Sequence[PairResult]",
+    truths: "Sequence[SimulatedFragment]",
+    tolerance: int = 50,
+) -> PairedAccuracy:
+    """Score pair results against simulated fragment truth.
+
+    A mate is *correct* when its projected linear position is within
+    ``tolerance`` bases of its simulated origin (same rule as
+    :func:`evaluate_linear_mappings`); a pair is correct when both
+    mates are.
+    """
+    if len(pairs) != len(truths):
+        raise ValueError(
+            f"{len(pairs)} pair results vs {len(truths)} truths"
+        )
+    proper = 0
+    mates_mapped = 0
+    mates_correct = 0
+    pairs_correct = 0
+    for pair, truth in zip(pairs, truths):
+        if pair.proper:
+            proper += 1
+        ok = 0
+        for result, mate_truth in ((pair.mate1, truth.mate1),
+                                   (pair.mate2, truth.mate2)):
+            if result.mapped:
+                mates_mapped += 1
+            if _mate_correct(result, mate_truth, tolerance):
+                mates_correct += 1
+                ok += 1
+        if ok == 2:
+            pairs_correct += 1
+    return PairedAccuracy(
+        total_pairs=len(pairs), proper_pairs=proper,
+        mates_mapped=mates_mapped, mates_correct=mates_correct,
+        pairs_correct=pairs_correct,
+    )

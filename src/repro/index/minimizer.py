@@ -16,10 +16,17 @@ deque caches previous window minima so each position is pushed and
 popped at most once — O(m) for a length-m read, versus the naive
 O(m*w) nested loop (kept here as :func:`brute_force_minimizers` for the
 equivalence tests).
+
+K-mers containing an ambiguous base (``N`` — see the policy in
+:mod:`repro.seq`) cannot be 2-bit packed and are never selected: they
+score :data:`INVALID_KMER_SCORE` (worse than every real k-mer), so a
+read containing ``N`` yields minimizers only from its unambiguous
+stretches — the minimap2 behaviour.
 """
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Literal
@@ -27,6 +34,11 @@ from typing import Callable, Literal
 from repro import seq as seqmod
 
 Scoring = Literal["hash", "lex"]
+
+#: Score assigned to k-mer positions whose k-mer contains a character
+#: outside the 2-bit alphabet.  ``inf`` loses every window-minimum
+#: comparison, so such positions are never selected as minimizers.
+INVALID_KMER_SCORE = math.inf
 
 
 @dataclass(frozen=True, order=True)
@@ -107,16 +119,32 @@ def minimizers(
         return []
     score_of = _scorer(scoring, k)
 
-    # Incremental 2-bit rolling pack of the current k-mer.
+    # Incremental 2-bit rolling pack of the current k-mer.  A run
+    # counter tracks consecutive encodable bases so k-mers touching an
+    # ambiguous base score INVALID_KMER_SCORE (list indices stay
+    # aligned with k-mer positions).
     mask = (1 << (2 * k)) - 1
-    scores: list[int] = []
+    scores: list[float] = []
     kmers: list[int] = []
     packed = 0
+    valid_run = 0
+    encode_base = seqmod.encode_base  # hot loop: hoist the lookup
     for index, base in enumerate(sequence):
-        packed = ((packed << 2) | seqmod.encode_base(base)) & mask
+        try:
+            packed = ((packed << 2) | encode_base(base)) & mask
+            valid_run += 1
+        except seqmod.InvalidBaseError:
+            if not seqmod.is_ambiguous(base):
+                raise
+            packed = 0
+            valid_run = 0
         if index >= k - 1:
-            kmers.append(packed)
-            scores.append(score_of(packed))
+            if valid_run >= k:
+                kmers.append(packed)
+                scores.append(score_of(packed))
+            else:
+                kmers.append(-1)
+                scores.append(INVALID_KMER_SCORE)
 
     # Monotonic deque of candidate positions: scores[deque] is
     # non-decreasing, front is the current window minimum.
@@ -131,6 +159,8 @@ def minimizers(
             window.popleft()
         if position >= first_full_window:
             best = window[0]
+            if scores[best] == INVALID_KMER_SCORE:
+                continue  # every k-mer in the window contains an N
             if best not in selected:
                 selected[best] = Minimizer(
                     position=best, score=scores[best],
@@ -155,13 +185,26 @@ def brute_force_minimizers(
     if num_kmers < 1:
         return []
     score_of = _scorer(scoring, k)
-    kmers = [kmer_at(sequence, p, k) for p in range(num_kmers)]
-    scores = [score_of(km) for km in kmers]
+    kmers = []
+    scores: list[float] = []
+    for p in range(num_kmers):
+        try:
+            kmer = kmer_at(sequence, p, k)
+        except seqmod.InvalidBaseError:
+            seqmod.validate(sequence[p:p + k], "sequence",
+                            allow_ambiguous=True)
+            kmers.append(-1)
+            scores.append(INVALID_KMER_SCORE)
+        else:
+            kmers.append(kmer)
+            scores.append(score_of(kmer))
     selected: dict[int, Minimizer] = {}
     window_count = max(1, num_kmers - w + 1)
     for start in range(window_count):
         stop = min(start + w, num_kmers)
         best = min(range(start, stop), key=lambda p: (scores[p], p))
+        if scores[best] == INVALID_KMER_SCORE:
+            continue
         if best not in selected:
             selected[best] = Minimizer(
                 position=best, score=scores[best], kmer=kmers[best], k=k,

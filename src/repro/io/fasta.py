@@ -8,6 +8,7 @@ rather than being silently skipped.
 
 from __future__ import annotations
 
+import io
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Iterator, TextIO, Union
@@ -161,6 +162,63 @@ def iter_fastq(source: PathOrHandle) -> Iterator[FastqRecord]:
 def read_fastq(source: PathOrHandle) -> list[FastqRecord]:
     """Read all FASTQ records from a path or open text handle."""
     return list(iter_fastq(source))
+
+
+def _mate_base_name(name: str) -> str:
+    """Strip a trailing ``/1`` / ``/2`` mate suffix, if present."""
+    if len(name) > 2 and name[-2] == "/" and name[-1] in "12":
+        return name[:-2]
+    return name
+
+
+def read_mate_pairs(
+    source1: PathOrHandle,
+    source2: PathOrHandle,
+) -> list[tuple[str, str, str]]:
+    """Read two FASTA/FASTQ mate files into ``(name, read1, read2)``.
+
+    The files must hold the same number of records in the same order
+    (the universal R1/R2 convention); record ``i`` of each file forms
+    one pair.  Names are cross-checked after stripping any ``/1`` /
+    ``/2`` suffix — a mismatch raises :class:`FastaFormatError`, since
+    silently pairing unrelated reads corrupts every downstream pair
+    statistic.  Each file may independently be FASTA or FASTQ.
+    """
+    reads1 = read_sequences(source1)
+    reads2 = read_sequences(source2)
+    if len(reads1) != len(reads2):
+        raise FastaFormatError(
+            f"mate files disagree: {len(reads1)} vs {len(reads2)} "
+            "records"
+        )
+    pairs: list[tuple[str, str, str]] = []
+    for (name1, seq1), (name2, seq2) in zip(reads1, reads2):
+        base1 = _mate_base_name(name1)
+        base2 = _mate_base_name(name2)
+        if base1 != base2:
+            raise FastaFormatError(
+                f"mate name mismatch: {name1!r} vs {name2!r}"
+            )
+        pairs.append((base1, seq1, seq2))
+    return pairs
+
+
+def read_sequences(source: PathOrHandle) -> list[tuple[str, str]]:
+    """Read ``(name, sequence)`` pairs from FASTA *or* FASTQ.
+
+    Format detection: a leading ``@`` means FASTQ, anything else is
+    parsed as FASTA (matching the ``map`` CLI's sniffing).
+    """
+    if isinstance(source, (str, Path)):
+        text = Path(source).read_text(encoding="ascii")
+        handle: TextIO = io.StringIO(text)
+    else:
+        handle = source
+        text = handle.read()
+        handle = io.StringIO(text)
+    if text.lstrip().startswith("@"):
+        return [(r.name, r.sequence) for r in read_fastq(handle)]
+    return [(r.name, r.sequence) for r in read_fasta(handle)]
 
 
 def write_fastq(target: PathOrHandle, records: Iterable[FastqRecord]) -> None:

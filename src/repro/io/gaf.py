@@ -16,7 +16,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterable, TextIO, Union
 
-from repro.core.alignment import Cigar
+from repro.core.alignment import Cigar, mapq_from_identity
 from repro.graph.genome_graph import GenomeGraph
 
 if TYPE_CHECKING:  # avoid a circular import; only needed for hints
@@ -72,7 +72,6 @@ def result_to_gaf(result: "MappingResult", graph: GenomeGraph,
     path_start = result.node_offset or 0
     ref_span = result.cigar.ref_consumed
     cigar = result.cigar
-    identity = result.identity or 0.0
     return GafRecord(
         query_name=result.read_name,
         query_length=len(read),
@@ -82,7 +81,7 @@ def result_to_gaf(result: "MappingResult", graph: GenomeGraph,
         path_end=path_start + ref_span,
         matches=cigar.matches,
         block_length=cigar.matches + cigar.edit_distance,
-        mapq=max(0, min(60, int(60 * identity))),
+        mapq=mapq_from_identity(result.identity),
         cigar=str(cigar),
     )
 

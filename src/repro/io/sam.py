@@ -2,28 +2,44 @@
 
 Real mappers emit SAM (Sequence Alignment/Map); SeGraM's S2S use case
 (paper Section 9) produces exactly the information a SAM line needs.
-Only the subset the mapper produces is implemented: header (@HD/@SQ),
-mapped/unmapped single-end records with extended-CIGAR (``=``/``X``)
-alignment, the NM edit-distance tag, and round-trip parsing of that
-subset.
+The subset the mapper produces is implemented: header (@HD/@SQ),
+mapped/unmapped records with extended-CIGAR (``=``/``X``) alignment,
+the NM edit-distance tag, paired-end records (FLAG bits 0x1/0x2/0x8/
+0x20/0x40/0x80 with RNEXT/PNEXT/TLEN and pair-aware MAPQ), and
+round-trip parsing of that subset.
+
+**Orientation.**  Per the SAM spec, SEQ is always stored in the
+orientation that aligns forward to the reference: when FLAG 0x10 is
+set, SEQ is the *reverse complement* of the sequenced read, and the
+CIGAR/NM describe that reverse-complemented sequence.  (The mapper
+aligns the reverse-complemented read against the forward graph, so its
+CIGAR is already in this orientation.)
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterable, TextIO, Union
 
-from repro.core.alignment import Cigar
+from repro import seq as seqmod
+from repro.core.alignment import Cigar, mapq_from_identity
 
 if TYPE_CHECKING:  # avoid a circular import; only needed for hints
     from repro.core.mapper import MappingResult
+    from repro.core.pairing import PairResult
 
 PathOrHandle = Union[str, Path, TextIO]
 
-#: FLAG bits used by this writer.
+#: FLAG bits used by this writer (SAM spec section 1.4).
+FLAG_PAIRED = 0x1
+FLAG_PROPER_PAIR = 0x2
 FLAG_UNMAPPED = 0x4
+FLAG_MATE_UNMAPPED = 0x8
 FLAG_REVERSE = 0x10
+FLAG_MATE_REVERSE = 0x20
+FLAG_FIRST_IN_PAIR = 0x40
+FLAG_SECOND_IN_PAIR = 0x80
 
 
 class SamFormatError(ValueError):
@@ -32,7 +48,13 @@ class SamFormatError(ValueError):
 
 @dataclass(frozen=True)
 class SamRecord:
-    """One single-end SAM alignment record (the subset we emit)."""
+    """One SAM alignment record (the subset we emit).
+
+    ``seq`` follows the SAM orientation rule: for reverse-strand
+    records (FLAG 0x10) it holds the reverse complement of the
+    sequenced read.  ``rnext``/``pnext``/``tlen`` are the mate fields
+    (columns 7-9); single-end records leave them at ``"*"``/0/0.
+    """
 
     qname: str
     flag: int
@@ -41,6 +63,9 @@ class SamRecord:
     mapq: int
     cigar: str
     seq: str
+    rnext: str = "*"
+    pnext: int = 0
+    tlen: int = 0
     edit_distance: int | None = None
 
     @property
@@ -51,18 +76,53 @@ class SamRecord:
     def is_reverse(self) -> bool:
         return bool(self.flag & FLAG_REVERSE)
 
+    @property
+    def is_paired(self) -> bool:
+        return bool(self.flag & FLAG_PAIRED)
+
+    @property
+    def is_proper_pair(self) -> bool:
+        return bool(self.flag & FLAG_PROPER_PAIR)
+
+    @property
+    def is_mate_unmapped(self) -> bool:
+        return bool(self.flag & FLAG_MATE_UNMAPPED)
+
+    @property
+    def is_mate_reverse(self) -> bool:
+        return bool(self.flag & FLAG_MATE_REVERSE)
+
+    @property
+    def is_first_in_pair(self) -> bool:
+        return bool(self.flag & FLAG_FIRST_IN_PAIR)
+
+    @property
+    def is_second_in_pair(self) -> bool:
+        return bool(self.flag & FLAG_SECOND_IN_PAIR)
+
+
+def _oriented_seq(result: "MappingResult", read: str) -> str:
+    """SEQ in SAM orientation: reverse complement for '-' mappings."""
+    if result.mapped and result.strand == "-":
+        return seqmod.reverse_complement(read)
+    return read
+
 
 def result_to_sam(result: "MappingResult", read: str,
-                  reference_name: str) -> SamRecord:
+                  reference_name: str, flag_extra: int = 0,
+                  mapq: int | None = None) -> SamRecord:
     """Convert a mapping result to a SAM record.
 
     ``result.linear_position`` must be present for mapped reads (the
     mapper fills it when built from a linear reference); mapped results
     without a projection raise, because SAM coordinates are linear.
+    ``flag_extra``/``mapq`` let the pair-aware writer add pair flag
+    bits and override the per-mate MAPQ.
     """
     if not result.mapped:
         return SamRecord(
-            qname=result.read_name, flag=FLAG_UNMAPPED, rname="*",
+            qname=result.read_name,
+            flag=FLAG_UNMAPPED | flag_extra, rname="*",
             pos=0, mapq=0, cigar="*", seq=read,
         )
     if result.linear_position is None:
@@ -70,8 +130,9 @@ def result_to_sam(result: "MappingResult", read: str,
             f"read {result.read_name!r}: mapped result has no linear "
             "projection; SAM output requires a reference-backed mapper"
         )
-    flag = FLAG_REVERSE if result.strand == "-" else 0
-    mapq = _mapq_from_identity(result)
+    flag = (FLAG_REVERSE if result.strand == "-" else 0) | flag_extra
+    if mapq is None:
+        mapq = mapq_from_identity(result.identity)
     return SamRecord(
         qname=result.read_name,
         flag=flag,
@@ -79,15 +140,64 @@ def result_to_sam(result: "MappingResult", read: str,
         pos=result.linear_position + 1,
         mapq=mapq,
         cigar=str(result.cigar),
-        seq=read,
+        seq=_oriented_seq(result, read),
         edit_distance=result.distance,
     )
 
 
-def _mapq_from_identity(result: "MappingResult") -> int:
-    """A simple Phred-style mapping quality from alignment identity."""
-    identity = result.identity or 0.0
-    return max(0, min(60, int(60 * identity)))
+def pair_to_sam(pair: "PairResult", read1: str, read2: str,
+                reference_name: str) -> tuple[SamRecord, SamRecord]:
+    """Convert one mapped pair into its two SAM records.
+
+    Sets the pair FLAG bits (0x1 paired, 0x2 proper, 0x8/0x20 mate
+    state, 0x40/0x80 mate index), fills RNEXT (``=`` when the mate
+    maps to the same reference), PNEXT, and the signed TLEN (positive
+    on the leftmost mate, negative on the rightmost, 0 unless both
+    mates mapped), and applies the pair-aware MAPQ
+    (:func:`repro.core.alignment.mapq_from_identity` with the
+    proper-pair bonus).  Per the SAM spec's recommended practice, an
+    unmapped mate whose partner is mapped is co-located with it
+    (RNAME/POS copied from the mapped mate, RNEXT ``=``) so
+    coordinate sorts keep the pair together.
+    """
+    results = (pair.mate1, pair.mate2)
+    reads = (read1, read2)
+    index_flags = (FLAG_FIRST_IN_PAIR, FLAG_SECOND_IN_PAIR)
+    records = []
+    for me, mate, read, index_flag in zip(
+            results, reversed(results), reads, index_flags):
+        flag = FLAG_PAIRED | index_flag
+        if pair.proper:
+            flag |= FLAG_PROPER_PAIR
+        if not mate.mapped:
+            flag |= FLAG_MATE_UNMAPPED
+        elif mate.strand == "-":
+            flag |= FLAG_MATE_REVERSE
+        mapq = mapq_from_identity(me.identity, proper_pair=pair.proper)
+        records.append(result_to_sam(me, read, reference_name,
+                                     flag_extra=flag, mapq=mapq))
+    rec1, rec2 = records
+    if pair.mate1.mapped and pair.mate2.mapped:
+        positions = (rec1.pos, rec2.pos)
+        ends = tuple(p + result.cigar.ref_consumed
+                     for p, result in zip(positions, results))
+        span = max(ends) - min(positions)
+        # Leftmost mate gets +TLEN; ties go to the first mate.
+        signs = (1, -1) if (rec1.pos, 0) <= (rec2.pos, 1) else (-1, 1)
+        rec1 = replace(rec1, rnext="=", pnext=rec2.pos,
+                       tlen=signs[0] * span)
+        rec2 = replace(rec2, rnext="=", pnext=rec1.pos,
+                       tlen=signs[1] * span)
+    elif pair.mate1.mapped or pair.mate2.mapped:
+        mapped, unmapped = (rec1, rec2) if pair.mate1.mapped \
+            else (rec2, rec1)
+        placed = replace(unmapped, rname=mapped.rname,
+                         pos=mapped.pos, rnext="=",
+                         pnext=mapped.pos)
+        mapped = replace(mapped, rnext="=", pnext=mapped.pos)
+        rec1, rec2 = (mapped, placed) if pair.mate1.mapped \
+            else (placed, mapped)
+    return rec1, rec2
 
 
 def write_sam(
@@ -107,7 +217,8 @@ def write_sam(
             fields = [
                 record.qname, str(record.flag), record.rname,
                 str(record.pos), str(record.mapq), record.cigar,
-                "*", "0", "0", record.seq, "*",
+                record.rnext, str(record.pnext), str(record.tlen),
+                record.seq, "*",
             ]
             if record.edit_distance is not None:
                 fields.append(f"NM:i:{record.edit_distance}")
@@ -140,6 +251,8 @@ def read_sam(source: PathOrHandle) -> list[SamRecord]:
                     qname=fields[0], flag=int(fields[1]),
                     rname=fields[2], pos=int(fields[3]),
                     mapq=int(fields[4]), cigar=fields[5],
+                    rnext=fields[6], pnext=int(fields[7]),
+                    tlen=int(fields[8]),
                     seq=fields[9], edit_distance=edit_distance,
                 )
             except ValueError as exc:
@@ -172,6 +285,50 @@ def validate_sam_record(record: SamRecord) -> None:
         raise SamFormatError(
             f"{record.qname}: NM:i:{record.edit_distance} != CIGAR "
             f"edits {cigar.edit_distance}"
+        )
+
+
+def validate_sam_pair(rec1: SamRecord, rec2: SamRecord) -> None:
+    """Cross-checks on the two records of one pair.
+
+    Both must carry the paired flag with complementary mate-index
+    bits, the mate-state bits (0x8/0x20) must mirror the other record,
+    RNEXT/PNEXT must point at each other, and the signed TLENs must
+    cancel.
+    """
+    for rec in (rec1, rec2):
+        validate_sam_record(rec)
+        if not rec.is_paired:
+            raise SamFormatError(f"{rec.qname}: pair record missing "
+                                 "FLAG 0x1")
+    if not (rec1.is_first_in_pair and rec2.is_second_in_pair):
+        raise SamFormatError(
+            f"{rec1.qname}: expected 0x40/0x80 mate-index flags, got "
+            f"{rec1.flag:#x}/{rec2.flag:#x}"
+        )
+    for me, mate in ((rec1, rec2), (rec2, rec1)):
+        if me.is_mate_unmapped != mate.is_unmapped:
+            raise SamFormatError(
+                f"{me.qname}: mate-unmapped flag disagrees with the "
+                "mate record"
+            )
+        if not mate.is_unmapped and \
+                me.is_mate_reverse != mate.is_reverse:
+            raise SamFormatError(
+                f"{me.qname}: mate-reverse flag disagrees with the "
+                "mate record"
+            )
+        if me.is_proper_pair != mate.is_proper_pair:
+            raise SamFormatError(
+                f"{me.qname}: proper-pair flags disagree"
+            )
+        if me.rnext == "=" and me.pnext != mate.pos:
+            raise SamFormatError(
+                f"{me.qname}: PNEXT {me.pnext} != mate POS {mate.pos}"
+            )
+    if rec1.tlen + rec2.tlen != 0:
+        raise SamFormatError(
+            f"{rec1.qname}: TLENs {rec1.tlen}/{rec2.tlen} do not cancel"
         )
 
 

@@ -4,6 +4,25 @@ The SeGraM paper stores reference characters with a 2-bit representation
 (A:00, C:01, G:10, T:11; Section 5).  Every component of this library
 (graph character table, minimizer hashing, pattern bitmasks) goes through
 the encoding defined here so the on-"chip" representation is consistent.
+
+**Ambiguous-base (``N``) policy.**  One policy, shared with
+:data:`repro.align.bitap.ABSENT_CHAR_MASK` and the GenASM pattern
+bitmasks:
+
+* ``N`` is a *literal read character*, never part of the 2-bit
+  alphabet.  :func:`encode`/:func:`pack` (and therefore graph
+  character tables and minimizer hashing) reject it — the reference
+  side of this library is strictly ``ACGT``.
+* Read-side entry points accept it when asked:
+  :func:`is_valid`/:func:`validate` take ``allow_ambiguous=True``
+  (the mapper's read-input path uses this), and
+  :func:`complement`/:func:`reverse_complement` map ``N`` to ``N``.
+* In alignment, ``N`` matches only a pattern ``N`` and mismatches
+  every other character (it hits the absent-char mask), so each ``N``
+  costs one edit against an ``ACGT`` reference.
+* In seeding, k-mers containing ``N`` are skipped (they cannot be
+  2-bit hashed), so reads with ambiguous bases seed only from their
+  unambiguous stretches.
 """
 
 from __future__ import annotations
@@ -19,6 +38,10 @@ ALPHABET_SIZE = 4
 
 #: Bits needed per encoded base.
 BITS_PER_BASE = 2
+
+#: Ambiguous-base characters accepted on the read path (see the module
+#: docstring for the full policy).  Not 2-bit encodable.
+AMBIGUOUS = "Nn"
 
 _ENCODE = {"A": 0, "C": 1, "G": 2, "T": 3, "a": 0, "c": 1, "g": 2, "t": 3}
 _DECODE = "ACGT"
@@ -79,7 +102,11 @@ def unpack(value: int, length: int) -> str:
 
 
 def complement(sequence: str) -> str:
-    """Return the complement of a DNA sequence (A<->T, C<->G)."""
+    """Return the complement of a DNA sequence (A<->T, C<->G).
+
+    ``N`` complements to ``N`` (read-side policy: ambiguous stays
+    ambiguous on the other strand); any other character raises.
+    """
     try:
         return "".join(_COMPLEMENT[b] for b in sequence)
     except KeyError as exc:
@@ -91,23 +118,40 @@ def reverse_complement(sequence: str) -> str:
     return complement(sequence)[::-1]
 
 
-def is_valid(sequence: str) -> bool:
-    """Return True if every character of the sequence is a valid base."""
-    return all(b in _ENCODE for b in sequence)
+def is_ambiguous(base: str) -> bool:
+    """Return True for an ambiguous base (``N``/``n``)."""
+    return base in AMBIGUOUS
 
 
-def validate(sequence: str, name: str = "sequence") -> str:
+def is_valid(sequence: str, allow_ambiguous: bool = False) -> bool:
+    """Return True if every character of the sequence is a valid base.
+
+    ``allow_ambiguous=True`` additionally accepts ``N`` (the read-side
+    policy); the default is the strict 2-bit reference alphabet.
+    """
+    return all(b in _ENCODE or (allow_ambiguous and b in AMBIGUOUS)
+               for b in sequence)
+
+
+def validate(sequence: str, name: str = "sequence",
+             allow_ambiguous: bool = False) -> str:
     """Validate a sequence, returning it uppercased.
 
     Raises :class:`InvalidBaseError` naming the offending position so
     errors surface close to the bad input rather than deep in an aligner.
+    ``allow_ambiguous=True`` applies the read-side policy, accepting
+    ``N`` (the mapper validates reads this way; graph/reference
+    sequences stay strict).
     """
     upper = sequence.upper()
     for position, base in enumerate(upper):
-        if base not in _ENCODE:
-            raise InvalidBaseError(
-                f"{name} contains invalid base {base!r} at position {position}"
-            )
+        if base in _ENCODE:
+            continue
+        if allow_ambiguous and base in AMBIGUOUS:
+            continue
+        raise InvalidBaseError(
+            f"{name} contains invalid base {base!r} at position {position}"
+        )
     return upper
 
 

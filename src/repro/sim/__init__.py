@@ -16,6 +16,8 @@ code paths (see DESIGN.md, substitutions table):
   5 %/10 % error);
 * :mod:`repro.sim.shortread` — Mason-like short reads (100–250 bp,
   1 % error);
+* :mod:`repro.sim.pairedend` — Illumina FR paired-end fragments
+  (Gaussian insert-size model, inward-facing mates, per-mate errors);
 * :mod:`repro.sim.graphsim` — ``vg sim`` equivalent: reads sampled
   from random paths of a genome graph (used by the HGA/BRCA1
   comparison).
@@ -26,6 +28,11 @@ from repro.sim.reference import random_reference, reference_with_repeats
 from repro.sim.variants import VariantProfile, simulate_variants
 from repro.sim.longread import LongReadProfile, simulate_long_reads
 from repro.sim.shortread import ShortReadProfile, simulate_short_reads
+from repro.sim.pairedend import (
+    PairedEndProfile,
+    SimulatedFragment,
+    simulate_fragments,
+)
 from repro.sim.graphsim import SimulatedRead, sample_path, simulate_graph_reads
 
 __all__ = [
@@ -39,6 +46,9 @@ __all__ = [
     "simulate_long_reads",
     "ShortReadProfile",
     "simulate_short_reads",
+    "PairedEndProfile",
+    "SimulatedFragment",
+    "simulate_fragments",
     "SimulatedRead",
     "sample_path",
     "simulate_graph_reads",

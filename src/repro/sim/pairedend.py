@@ -1,0 +1,152 @@
+"""Paired-end fragment simulation (Illumina FR libraries).
+
+A sequencing *fragment* is a contiguous reference span whose length
+(the *insert size*) is drawn from a Gaussian insert-size model; the
+two mates are read inward from the fragment's ends (FR orientation):
+
+* mate 1 is the first ``read_length`` bases of the fragment, forward;
+* mate 2 is the reverse complement of the last ``read_length`` bases.
+
+Each mate passes independently through the shared sequencing-error
+channel (:mod:`repro.sim.errors`).  Ground truth — per-mate reference
+span, strand, and the true insert size — is recorded for pair-accuracy
+evaluation (:func:`repro.eval.metrics.evaluate_paired_mappings`).
+
+This is the workload of the paper's Illumina short-read datasets
+(Section 10) extended to pairs, and the co-design target of
+GenPairX-style paired-end rescue (PAPERS.md).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro import seq as seqmod
+from repro.sim.errors import ErrorModel, apply_errors
+from repro.sim.longread import SimulatedLinearRead
+
+
+@dataclass(frozen=True)
+class PairedEndProfile:
+    """Read-length, error, and insert-size parameters of a library.
+
+    Attributes:
+        read_length: bases per mate (2 x read_length per fragment).
+        model: per-mate sequencing-error channel.
+        insert_mean / insert_std: Gaussian insert-size model; the
+            insert is the full fragment length (outer distance), so it
+            is clamped below at ``read_length`` (mates may overlap but
+            a fragment is never shorter than one mate).
+    """
+
+    read_length: int = 100
+    model: ErrorModel = ErrorModel.illumina(0.01)
+    insert_mean: float = 350.0
+    insert_std: float = 50.0
+
+    def __post_init__(self) -> None:
+        if self.read_length < 1:
+            raise ValueError("read_length must be >= 1")
+        if self.insert_mean < self.read_length:
+            raise ValueError(
+                "insert_mean must be >= read_length (outer distance)"
+            )
+        if self.insert_std < 0:
+            raise ValueError("insert_std must be >= 0")
+
+    @classmethod
+    def illumina(cls, read_length: int = 100,
+                 error_rate: float = 0.01,
+                 insert_mean: float = 350.0,
+                 insert_std: float = 50.0) -> "PairedEndProfile":
+        return cls(read_length, ErrorModel.illumina(error_rate),
+                   insert_mean, insert_std)
+
+
+@dataclass(frozen=True)
+class SimulatedFragment:
+    """One simulated fragment: two mates plus pair-level ground truth.
+
+    Attributes:
+        name: fragment identifier (mates are ``{name}/1``, ``{name}/2``).
+        mate1 / mate2: the sequenced mates with per-mate truth.
+            ``mate2.sequence`` is reverse-complement oriented (as
+            sequenced); its ``ref_start``/``ref_end`` describe the
+            forward-reference span it came from.
+        insert_size: true fragment length (outer distance).
+        fragment_start: 0-based reference start of the fragment.
+    """
+
+    name: str
+    mate1: SimulatedLinearRead
+    mate2: SimulatedLinearRead
+    insert_size: int
+    fragment_start: int
+
+    #: FR library: mate 1 is always forward, mate 2 always reverse.
+    mate1_strand = "+"
+    mate2_strand = "-"
+
+    @property
+    def fragment_end(self) -> int:
+        return self.fragment_start + self.insert_size
+
+
+def simulate_fragments(
+    reference: str,
+    count: int,
+    rng: random.Random,
+    profile: PairedEndProfile | None = None,
+    name_prefix: str = "frag",
+) -> list[SimulatedFragment]:
+    """Draw ``count`` fragments from a reference.
+
+    Insert sizes are Gaussian draws clamped to
+    ``[read_length, len(reference)]``; fragment starts are uniform.
+    """
+    if count < 0:
+        raise ValueError("count must be >= 0")
+    profile = profile or PairedEndProfile()
+    read_length = min(profile.read_length, len(reference))
+    fragments: list[SimulatedFragment] = []
+    for index in range(count):
+        insert = int(round(rng.gauss(profile.insert_mean,
+                                     profile.insert_std)))
+        insert = max(read_length, min(insert, len(reference)))
+        start = rng.randint(0, len(reference) - insert)
+        fragment = reference[start:start + insert]
+        mate1 = _sequence_mate(
+            fragment[:read_length], profile.model, rng,
+            name=f"{name_prefix}_{index}/1",
+            ref_start=start, reverse=False,
+        )
+        mate2 = _sequence_mate(
+            fragment[-read_length:], profile.model, rng,
+            name=f"{name_prefix}_{index}/2",
+            ref_start=start + insert - read_length, reverse=True,
+        )
+        fragments.append(SimulatedFragment(
+            name=f"{name_prefix}_{index}",
+            mate1=mate1, mate2=mate2,
+            insert_size=insert, fragment_start=start,
+        ))
+    return fragments
+
+
+def _sequence_mate(template: str, model: ErrorModel,
+                   rng: random.Random, name: str, ref_start: int,
+                   reverse: bool) -> SimulatedLinearRead:
+    """Sequence one mate: orient, then run the error channel."""
+    oriented = seqmod.reverse_complement(template) if reverse \
+        else template
+    noisy, errors = apply_errors(oriented, model, rng)
+    if not noisy:
+        noisy, errors = oriented[:1], max(0, len(oriented) - 1)
+    return SimulatedLinearRead(
+        name=name,
+        sequence=noisy,
+        ref_start=ref_start,
+        ref_end=ref_start + len(template),
+        errors=errors,
+    )

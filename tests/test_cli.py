@@ -205,6 +205,78 @@ class TestMap:
         assert len(read_gaf(tmp_path / "chained.gaf")) == 3
 
 
+class TestMapPaired:
+    @pytest.fixture(scope="class")
+    def paired_workspace(self, tmp_path_factory):
+        from repro.sim.pairedend import (
+            PairedEndProfile,
+            simulate_fragments,
+        )
+
+        root = tmp_path_factory.mktemp("cli_paired")
+        rng = random.Random(0xCAFE)
+        reference = random_reference(10_000, rng)
+        write_fasta(root / "ref.fa", [FastaRecord("chr1", reference)])
+        profile = PairedEndProfile.illumina(
+            read_length=100, error_rate=0.01,
+            insert_mean=350.0, insert_std=50.0,
+        )
+        fragments = simulate_fragments(reference, 8, rng, profile)
+        for index, path in ((1, "r1.fq"), (2, "r2.fq")):
+            write_fastq(root / path, [
+                FastqRecord(getattr(f, f"mate{index}").name,
+                            getattr(f, f"mate{index}").sequence,
+                            "I" * len(getattr(f,
+                                              f"mate{index}").sequence))
+                for f in fragments
+            ])
+        return root, reference, fragments
+
+    def test_map_paired_smoke(self, paired_workspace, capsys):
+        from repro.io.sam import validate_sam_pair
+
+        root, _, fragments = paired_workspace
+        code = main([
+            "map", "--reference", str(root / "ref.fa"),
+            "--reads", str(root / "r1.fq"),
+            "--paired", str(root / "r2.fq"),
+            "--output", str(root / "out.sam"),
+            "--format", "sam",
+            "--insert-mean", "350", "--insert-std", "50",
+            "--error-rate", "0.05",
+            "--early-exit-distance", "6",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "proper pairs" in out
+        assert "mate rescue" in out
+        records = read_sam(root / "out.sam")
+        assert len(records) == 2 * len(fragments)
+        for rec1, rec2 in zip(records[::2], records[1::2]):
+            assert rec1.is_paired and rec2.is_paired
+            assert rec1.is_first_in_pair and rec2.is_second_in_pair
+            validate_sam_pair(rec1, rec2)
+
+    def test_paired_rescue_flag_and_jobs(self, paired_workspace,
+                                         capsys):
+        root, _, fragments = paired_workspace
+        code = main([
+            "map", "--reference", str(root / "ref.fa"),
+            "--reads", str(root / "r1.fq"),
+            "--paired", str(root / "r2.fq"),
+            "--output", str(root / "out2.sam"),
+            "--format", "sam",
+            "--no-mate-rescue", "--jobs", "2",
+            "--error-rate", "0.05",
+            "--early-exit-distance", "6",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "jobs=2" in out
+        assert "0 hits / 0 attempts" in out
+        assert len(read_sam(root / "out2.sam")) == 2 * len(fragments)
+
+
 class TestModel:
     def test_workload_report(self, capsys):
         code = main(["model", "--workload", "pacbio"])

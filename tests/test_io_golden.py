@@ -131,6 +131,23 @@ class TestGoldenOutput:
         assert by_name["read_unmapped"].is_unmapped
         assert len(read_gaf(io.StringIO(gaf_text))) == 3  # mapped only
 
+    def test_reverse_strand_seq_is_reverse_complement(self, rendered):
+        """SAM spec: FLAG 0x10 stores SEQ reverse-complemented.
+
+        The golden read_reverse input is the reverse complement of a
+        reference slice, so its stored SEQ must be byte-for-byte the
+        reverse complement of the input read — i.e. the reference
+        slice itself (the regression the PR 3 bugfix pins)."""
+        sam_text, _ = rendered
+        _, reads = _workload()
+        read_of = dict(reads)
+        records = {r.qname: r for r in read_sam(io.StringIO(sam_text))}
+        record = records["read_reverse"]
+        assert record.seq == \
+            seqmod.reverse_complement(read_of["read_reverse"])
+        # Forward-strand records keep the read as sequenced.
+        assert records["read_exact"].seq == read_of["read_exact"]
+
     def test_golden_records_validate(self, rendered):
         sam_text, gaf_text = rendered
         for record in read_sam(io.StringIO(sam_text)):

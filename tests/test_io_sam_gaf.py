@@ -7,6 +7,7 @@ import random
 
 import pytest
 
+from repro import seq as seqmod
 from repro.core.mapper import SeGraM, SeGraMConfig
 from repro.core.windows import WindowingConfig
 from repro.io.gaf import (
@@ -107,6 +108,102 @@ class TestSam:
     def test_short_line_rejected(self):
         with pytest.raises(SamFormatError):
             read_sam(io.StringIO("r1\t0\tchr1\n"))
+
+
+class TestOrientationAndAmbiguity:
+    """Property/round-trip tests for reverse-strand and N-containing
+    reads through the SAM and GAF writers (randomized, seeded)."""
+
+    @pytest.fixture(scope="class")
+    def mapper_and_reference(self):
+        rng = random.Random(0x0A1)
+        reference = random_reference(12_000, rng)
+        mapper = SeGraM.from_reference(
+            reference,
+            config=SeGraMConfig(
+                w=10, k=15, bucket_bits=12, error_rate=0.05,
+                windowing=WindowingConfig(window_size=128,
+                                          overlap=48, k=16),
+                max_seeds_per_read=4, both_strands=True,
+                early_exit_distance=4,
+            ),
+            name="chrP",
+        )
+        return mapper, reference
+
+    def test_reverse_strand_seq_round_trip(self, mapper_and_reference):
+        """For every reverse-strand mapping, the SAM SEQ must be the
+        reverse complement of the input read, the CIGAR must consume
+        it, and the record must survive a write/read round trip."""
+        mapper, reference = mapper_and_reference
+        rng = random.Random(0xE5)
+        reverse_seen = 0
+        records = []
+        reads = []
+        for index in range(8):
+            start = rng.randrange(0, len(reference) - 150)
+            fragment = reference[start:start + 150]
+            read = seqmod.reverse_complement(fragment) \
+                if index % 2 else fragment
+            result = mapper.map_read(read, f"prop_{index}")
+            record = result_to_sam(result, read, "chrP")
+            validate_sam_record(record)
+            if record.is_reverse:
+                reverse_seen += 1
+                assert record.seq == seqmod.reverse_complement(read)
+            elif not record.is_unmapped:
+                assert record.seq == read
+            records.append(record)
+            reads.append(read)
+        assert reverse_seen > 0
+        buffer = io.StringIO()
+        write_sam(buffer, records, "chrP", len(reference))
+        assert read_sam(io.StringIO(buffer.getvalue())) == records
+
+    def test_n_reads_map_and_round_trip(self, mapper_and_reference):
+        """Reads with a few N bases still map (seeding skips N
+        k-mers, each N costs one edit) and their SAM/GAF records
+        round-trip with the Ns preserved."""
+        from repro.io.gaf import result_to_gaf, validate_gaf_record
+
+        mapper, reference = mapper_and_reference
+        rng = random.Random(0xA2)
+        mapped_seen = 0
+        for index in range(6):
+            start = rng.randrange(0, len(reference) - 150)
+            read = list(reference[start:start + 150])
+            for _ in range(3):
+                read[rng.randrange(len(read))] = "N"
+            if index % 2:
+                read = list(seqmod.reverse_complement("".join(read)))
+            read = "".join(read)
+            result = mapper.map_read(read, f"nprop_{index}")
+            if not result.mapped:
+                continue
+            mapped_seen += 1
+            # Each N costs one edit against the ACGT reference; a
+            # little slack for window-boundary drift.
+            assert result.distance <= 6
+            record = result_to_sam(result, read, "chrP")
+            validate_sam_record(record)
+            expected = seqmod.reverse_complement(read) \
+                if record.is_reverse else read
+            assert record.seq == expected
+            assert record.seq.count("N") == 3
+            buffer = io.StringIO()
+            write_sam(buffer, [record], "chrP", len(reference))
+            assert read_sam(io.StringIO(buffer.getvalue())) == [record]
+            gaf = result_to_gaf(result, mapper.graph, read)
+            assert gaf is not None
+            validate_gaf_record(gaf, mapper.graph)
+        assert mapped_seen > 0
+
+    def test_all_n_read_is_unmapped(self, mapper_and_reference):
+        mapper, _ = mapper_and_reference
+        result = mapper.map_read("N" * 60, "all_n")
+        assert not result.mapped
+        record = result_to_sam(result, "N" * 60, "chrP")
+        assert record.is_unmapped
 
 
 class TestGaf:

@@ -98,9 +98,13 @@ class TestS2SMapping:
             assert result.seeding.region_count == 0
 
     def test_read_validation(self, linear_mapper):
+        """Reads may contain N (the repro.seq ambiguity policy) but
+        genuinely invalid characters still raise."""
         _, mapper = linear_mapper
+        result = mapper.map_read("ACGN" * 5, "ambiguous")
+        assert not result.mapped  # too short/ambiguous to seed
         with pytest.raises(Exception):
-            mapper.map_read("ACGN", "bad")
+            mapper.map_read("ACGX", "bad")
 
 
 class TestS2GMapping:

@@ -132,3 +132,32 @@ class TestDensity:
         found = minimizers(sequence, w=w, k=k)
         density = len(found) / (len(sequence) - k + 1)
         assert density == pytest.approx(expected_density(w), rel=0.15)
+
+
+from repro import seq
+
+
+class TestAmbiguousBases:
+    """K-mers containing N are skipped (the policy in repro.seq)."""
+
+    def test_n_kmers_never_selected(self):
+        sequence = "ACGTACGTACNGTACGTACGTACG"
+        for minimizer in minimizers(sequence, w=4, k=5):
+            kmer = sequence[minimizer.position:minimizer.position + 5]
+            assert "N" not in kmer
+
+    def test_matches_brute_force_with_n(self):
+        rng = random.Random(404)
+        bases = list(seq.random_sequence(300, rng))
+        for _ in range(12):
+            bases[rng.randrange(len(bases))] = "N"
+        sequence = "".join(bases)
+        assert minimizers(sequence, w=8, k=9) == \
+            brute_force_minimizers(sequence, w=8, k=9)
+
+    def test_all_n_sequence_has_no_minimizers(self):
+        assert minimizers("N" * 50, w=5, k=9) == []
+
+    def test_garbage_character_still_rejected(self):
+        with pytest.raises(seq.InvalidBaseError):
+            minimizers("ACGTXACGTACGTACGT", w=3, k=5)

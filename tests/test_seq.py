@@ -111,3 +111,33 @@ class TestHelpers:
     def test_hamming_distance_length_mismatch(self):
         with pytest.raises(ValueError):
             seq.hamming_distance("ACG", "AC")
+
+
+class TestAmbiguityPolicy:
+    """The unified N policy (see the repro.seq module docstring)."""
+
+    def test_encode_rejects_n(self):
+        with pytest.raises(seq.InvalidBaseError):
+            seq.encode("ACNT")
+
+    def test_is_valid_read_side(self):
+        assert not seq.is_valid("ACNT")
+        assert seq.is_valid("ACNT", allow_ambiguous=True)
+        assert seq.is_valid("acnt", allow_ambiguous=True)
+        assert not seq.is_valid("ACXT", allow_ambiguous=True)
+
+    def test_validate_read_side(self):
+        assert seq.validate("acNt", allow_ambiguous=True) == "ACNT"
+        with pytest.raises(seq.InvalidBaseError, match="position 2"):
+            seq.validate("ACNT")
+        with pytest.raises(seq.InvalidBaseError, match="position 1"):
+            seq.validate("AXNT", allow_ambiguous=True)
+
+    def test_complement_maps_n_to_n(self):
+        assert seq.complement("ACGTN") == "TGCAN"
+        assert seq.reverse_complement("ACGTN") == "NACGT"
+
+    def test_is_ambiguous(self):
+        assert seq.is_ambiguous("N")
+        assert seq.is_ambiguous("n")
+        assert not seq.is_ambiguous("A")
