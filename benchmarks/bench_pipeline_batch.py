@@ -11,10 +11,14 @@ adds the timing entry).
 
 Acceptance check: jobs=4 with a warm region cache must beat the
 jobs=1 cold-cache baseline on this workload.
+
+Quick mode: set ``REPRO_BENCH_QUICK=1`` (the CI bench-smoke job does)
+to shrink the workload; the acceptance assertions still hold.
 """
 
 from __future__ import annotations
 
+import os
 import random
 import time
 
@@ -23,12 +27,17 @@ from repro.core.windows import WindowingConfig
 from repro.sim.errors import ErrorModel, apply_errors
 from repro.sim.reference import random_reference
 
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
 
-def _build_workload(read_count: int = 18, read_length: int = 1_200,
+
+def _build_workload(read_count: int | None = None,
+                    read_length: int = 1_200,
                     duplicates: int = 2):
     """A long-read batch over a small genome, with duplicate reads."""
+    if read_count is None:
+        read_count = 8 if QUICK else 18
     rng = random.Random(1234)
-    reference = random_reference(60_000, rng)
+    reference = random_reference(30_000 if QUICK else 60_000, rng)
     uniques = []
     for i in range(read_count):
         start = rng.randrange(0, len(reference) - read_length - 1)

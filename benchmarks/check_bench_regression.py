@@ -1,0 +1,117 @@
+"""CI benchmark regression gate.
+
+Compares a pytest-benchmark JSON report (``--benchmark-json``) of the
+quick-mode CI benches against the checked-in
+``benchmarks/baseline.json`` and exits non-zero when any benchmark's
+mean wall time exceeds ``max_slowdown`` times its baseline — i.e.
+when throughput dropped by more than the configured factor (default
+2x, lenient enough to absorb runner-to-runner machine variance while
+catching genuine hot-path regressions).
+
+Usage::
+
+    python benchmarks/check_bench_regression.py BENCH_pr.json
+    python benchmarks/check_bench_regression.py BENCH_pr.json \
+        --baseline benchmarks/baseline.json --max-slowdown 2.0
+    python benchmarks/check_bench_regression.py --update-baseline \
+        BENCH_pr.json   # refresh baseline.json in place
+
+Benchmarks present on only one side are reported but never fail the
+gate (new benchmarks land before their baseline entry does).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).parent / "baseline.json"
+
+
+def load_report_means(path: Path) -> dict[str, float]:
+    """``{fullname: mean_seconds}`` from a pytest-benchmark JSON."""
+    with open(path, "r", encoding="ascii") as handle:
+        report = json.load(handle)
+    return {bench["fullname"]: bench["stats"]["mean"]
+            for bench in report.get("benchmarks", [])}
+
+
+def load_baseline(path: Path) -> tuple[dict[str, float], float]:
+    with open(path, "r", encoding="ascii") as handle:
+        baseline = json.load(handle)
+    return baseline["benchmarks"], float(
+        baseline.get("max_slowdown", 2.0))
+
+
+def update_baseline(report_path: Path, baseline_path: Path) -> int:
+    means = load_report_means(report_path)
+    with open(baseline_path, "r", encoding="ascii") as handle:
+        baseline = json.load(handle)
+    baseline["benchmarks"] = {
+        name: round(mean, 3) for name, mean in sorted(means.items())
+    }
+    with open(baseline_path, "w", encoding="ascii") as handle:
+        json.dump(baseline, handle, indent=2)
+        handle.write("\n")
+    print(f"updated {baseline_path} with {len(means)} benchmarks")
+    return 0
+
+
+def check(report_path: Path, baseline_path: Path,
+          max_slowdown: float | None) -> int:
+    means = load_report_means(report_path)
+    baseline, configured_slowdown = load_baseline(baseline_path)
+    if max_slowdown is None:
+        max_slowdown = configured_slowdown
+    failures = []
+    for name in sorted(set(means) | set(baseline)):
+        if name not in baseline:
+            print(f"NEW      {name}: {means[name]:.3f}s "
+                  "(no baseline entry; not gated)")
+            continue
+        if name not in means:
+            print(f"MISSING  {name}: in baseline but not in report")
+            continue
+        ratio = means[name] / baseline[name]
+        status = "FAIL" if ratio > max_slowdown else "ok"
+        print(f"{status:8} {name}: {means[name]:.3f}s vs baseline "
+              f"{baseline[name]:.3f}s ({ratio:.2f}x)")
+        if ratio > max_slowdown:
+            failures.append((name, ratio))
+    if failures:
+        print(f"\nbenchmark regression gate FAILED "
+              f"(>{max_slowdown:.1f}x slowdown):")
+        for name, ratio in failures:
+            print(f"  {name}: {ratio:.2f}x")
+        print("If the slowdown is intentional, refresh the baseline "
+              "(see benchmarks/baseline.json).")
+        return 1
+    print(f"\nbenchmark regression gate passed "
+          f"({len(means)} benchmarks, limit {max_slowdown:.1f}x)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fail when CI benchmarks slowed down beyond the "
+                    "baseline tolerance")
+    parser.add_argument("report", type=Path,
+                        help="pytest-benchmark JSON "
+                             "(--benchmark-json output)")
+    parser.add_argument("--baseline", type=Path,
+                        default=DEFAULT_BASELINE)
+    parser.add_argument("--max-slowdown", type=float, default=None,
+                        help="override the baseline file's factor")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline from the report "
+                             "instead of checking")
+    args = parser.parse_args(argv)
+    if args.update_baseline:
+        return update_baseline(args.report, args.baseline)
+    return check(args.report, args.baseline, args.max_slowdown)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

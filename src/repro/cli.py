@@ -79,7 +79,14 @@ def build_parser() -> argparse.ArgumentParser:
                          help="insert-size model std dev (default 50)")
     map_cmd.add_argument("--no-mate-rescue", action="store_true",
                          help="disable windowed mate rescue near a "
-                              "confidently mapped mate")
+                              "confidently mapped mate (the top-N "
+                              "candidate grid usually resolves repeat "
+                              "ties without it)")
+    map_cmd.add_argument("--discordant-out", type=Path, default=None,
+                         metavar="TSV",
+                         help="with --paired: also write a TSV report "
+                              "of discordant pairs (category, mate "
+                              "placements, TLEN) for SV calling")
     map_cmd.add_argument("--output", required=True, type=Path)
     map_cmd.add_argument("--format", choices=("gaf", "sam"),
                          default=None,
@@ -89,6 +96,10 @@ def build_parser() -> argparse.ArgumentParser:
     map_cmd.add_argument("-w", type=int, default=10)
     map_cmd.add_argument("-k", type=int, default=15)
     map_cmd.add_argument("--max-seeds", type=int, default=8)
+    map_cmd.add_argument("--top-n", type=int, default=5,
+                         help="best alignments kept per read for MAPQ "
+                              "calibration and candidate-grid pairing "
+                              "(default 5; 1 = single winner)")
     map_cmd.add_argument("--hop-limit", type=int, default=None)
     map_cmd.add_argument("--both-strands", action="store_true")
     map_cmd.add_argument("--bucket-bits", type=int, default=14,
@@ -188,6 +199,10 @@ def cmd_map(args: argparse.Namespace) -> int:
                          "(0 disables the region cache)")
     if args.jobs < 1:
         raise SystemExit("error: --jobs must be >= 1")
+    if args.top_n < 1:
+        raise SystemExit("error: --top-n must be >= 1")
+    if args.discordant_out is not None and args.paired is None:
+        raise SystemExit("error: --discordant-out requires --paired")
     ref_name, reference = _load_reference(args.reference)
     variants = read_vcf(args.vcf) if args.vcf else []
     config = SeGraMConfig(
@@ -195,6 +210,7 @@ def cmd_map(args: argparse.Namespace) -> int:
         error_rate=args.error_rate,
         windowing=WindowingConfig(),
         max_seeds_per_read=args.max_seeds,
+        top_n_alignments=args.top_n,
         hop_limit=args.hop_limit,
         both_strands=args.both_strands,
         chaining=args.chaining,
@@ -260,6 +276,13 @@ def _map_paired(args: argparse.Namespace, mapper: SeGraM,
     proper = sum(1 for pair in results if pair.proper)
     print(f"mapped {proper}/{len(pairs)} proper pairs -> "
           f"{args.output} (sam)")
+    if args.discordant_out is not None:
+        from repro.io.discordant import write_discordant_report
+
+        written = write_discordant_report(args.discordant_out,
+                                          results)
+        print(f"wrote {written} discordant pairs -> "
+              f"{args.discordant_out}")
     stats = mapper.stats
     jobs = effective_jobs(args.jobs, len(pairs))
     print(format_table(

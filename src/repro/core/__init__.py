@@ -18,11 +18,13 @@
   the pipeline engine.
 """
 
-from repro.core.alignment import Cigar, CigarError, replay_alignment
+from repro.core.alignment import Cigar, CigarError, \
+    mapq_from_candidates, replay_alignment
 from repro.core.bitalign import BitAlignResult, bitalign, bitalign_distance
 from repro.core.windows import WindowedAligner, WindowingConfig
 from repro.core.minseed import MinSeed, Seed, SeedRegion
-from repro.core.mapper import MappingResult, SeGraM, SeGraMConfig
+from repro.core.mapper import AlignmentCandidate, MappingResult, \
+    SeGraM, SeGraMConfig
 from repro.core.pipeline import MappingPipeline, PipelineStats, \
     RegionCache, StageStats, best_of
 from repro.core.chaining import Chain, chain_regions, chain_seeds, \
@@ -31,7 +33,9 @@ from repro.core.chaining import Chain, chain_regions, chain_seeds, \
 __all__ = [
     "Cigar",
     "CigarError",
+    "mapq_from_candidates",
     "replay_alignment",
+    "AlignmentCandidate",
     "BitAlignResult",
     "bitalign",
     "bitalign_distance",

@@ -163,20 +163,74 @@ PROPER_PAIR_MAPQ_BONUS = 5
 #: The SAM MAPQ ceiling this library emits.
 MAX_MAPQ = 60
 
+#: MAPQ ceiling for a repeat tie: the best and second-best candidate
+#: loci have the same edit distance, so the placement is a coin flip
+#: among copies.  Downstream variant callers treat MAPQ <= 3 as
+#: "multi-mapping" — this is the contract the calibration tests pin.
+TIE_MAPQ = 3
+
+#: MAPQ points awarded per edit of best/second-best distance gap.
+#: One distinguishing edit between two loci is strong but not
+#: conclusive evidence (a sequencing error can fake it); five or more
+#: saturate the scale at ``MAX_MAPQ``.
+MAPQ_PER_GAP_EDIT = 12
+
 
 def mapq_from_identity(identity: float | None,
                        proper_pair: bool = False) -> int:
-    """Phred-style mapping quality from alignment identity.
+    """Identity-only mapping quality (the uncalibrated fallback).
 
-    The single MAPQ policy for every writer (SAM, GAF, pair-aware SAM):
     ``int(60 * identity)``, plus :data:`PROPER_PAIR_MAPQ_BONUS` when
     the alignment is one mate of a proper pair, clamped to
     ``[0, MAX_MAPQ]``.  ``None`` identity (unmapped) maps to 0.
+
+    This is the ceiling term of :func:`mapq_from_candidates`; writers
+    use the calibrated form, which degrades to this one only when a
+    result carries no candidate information at all (e.g. a rescued
+    mate, whose placement was corroborated by its anchor instead).
     """
     scaled = int(MAX_MAPQ * (identity or 0.0))
     if proper_pair:
         scaled += PROPER_PAIR_MAPQ_BONUS
     return max(0, min(MAX_MAPQ, scaled))
+
+
+def mapq_from_candidates(identity: float | None,
+                         best_distance: int | None,
+                         second_best_distance: int | None,
+                         proper_pair: bool = False) -> int:
+    """Calibrated mapping quality from the best/second-best gap.
+
+    The single MAPQ policy for every writer (SAM, GAF, pair-aware
+    SAM).  Calibration follows the standard second-best-distance
+    contract (BWA-style, "Accelerating Genome Analysis" primer):
+
+    * no second candidate locus anywhere -> the placement is unique;
+      MAPQ is the identity ceiling ``int(60 * identity)``;
+    * a second-best at the same distance -> repeat tie; MAPQ is capped
+      at :data:`TIE_MAPQ` (0-3: the reported locus is a guess);
+    * otherwise MAPQ grows :data:`MAPQ_PER_GAP_EDIT` per edit of gap,
+      still capped by the identity ceiling (a unique-but-terrible
+      alignment is not a confident one).
+
+    ``proper_pair`` adds :data:`PROPER_PAIR_MAPQ_BONUS` before the
+    final clamp to ``[0, MAX_MAPQ]``.  Unmapped (``None`` identity or
+    distance) maps to 0.
+    """
+    if identity is None or best_distance is None:
+        return 0
+    ceiling = int(MAX_MAPQ * identity)
+    if second_best_distance is None:
+        mapq = ceiling
+    else:
+        gap = second_best_distance - best_distance
+        if gap <= 0:
+            mapq = min(TIE_MAPQ, ceiling)
+        else:
+            mapq = min(ceiling, MAPQ_PER_GAP_EDIT * gap)
+    if proper_pair:
+        mapq += PROPER_PAIR_MAPQ_BONUS
+    return max(0, min(MAX_MAPQ, mapq))
 
 
 def replay_alignment(cigar: Cigar, read: str, reference: str) -> int:

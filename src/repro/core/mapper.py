@@ -24,7 +24,7 @@ workers, and per-stage counters accumulate in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Iterable
 
 from repro import seq as seqmod
@@ -32,7 +32,7 @@ from repro.core.minseed import MinSeed, SeedingStats
 from repro.core.pipeline import MappingPipeline, PipelineStats, \
     map_batch_sharded
 from repro.core.windows import WindowedAligner, WindowingConfig
-from repro.core.alignment import Cigar
+from repro.core.alignment import Cigar, mapq_from_candidates
 from repro.graph.builder import BuiltGraph, Variant, build_graph
 from repro.graph.genome_graph import GenomeGraph, GraphError
 from repro.index.hash_index import HashTableIndex, build_index
@@ -56,9 +56,20 @@ class SeGraMConfig:
         max_seeds_per_read: optional cap on candidate regions aligned
             per read (the paper aligns all; benchmarks use a cap to
             bound pure-Python runtime — always stated where used).
+        top_n_alignments: how many of the best alignments per
+            orientation survive the align stage (paper: MinSeed keeps
+            multiple seed regions alive so BitAlign can pick the true
+            locus among repeats).  The runner-up distances calibrate
+            MAPQ, and paired-end scoring searches the full candidate
+            grid of both mates, so repeat ties pair correctly without
+            a rescue alignment.  1 reproduces the old single-winner
+            behaviour.
         early_exit_distance: stop trying further regions once an
             alignment at or below this distance is found (None = try
-            all regions, the paper's behaviour).
+            all regions, the paper's behaviour).  Regions skipped by
+            the early exit contribute no candidates, so second-best
+            distances — and therefore MAPQ calibration — only see the
+            regions aligned before the exit fired.
         both_strands: also map the reverse-complemented read and keep
             the better orientation.
         chaining: enable the optional colinear-chaining filter
@@ -82,11 +93,62 @@ class SeGraMConfig:
     windowing: WindowingConfig = field(default_factory=WindowingConfig)
     hop_limit: int | None = None
     max_seeds_per_read: int | None = None
+    top_n_alignments: int = 5
     early_exit_distance: int | None = None
     both_strands: bool = False
     chaining: bool = False
     region_cache_size: int = 128
     align_backend: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.top_n_alignments < 1:
+            raise ValueError(
+                f"top_n_alignments must be >= 1, "
+                f"got {self.top_n_alignments}"
+            )
+
+
+@dataclass(frozen=True)
+class AlignmentCandidate:
+    """One retained alignment of a read at one candidate locus.
+
+    The align stage keeps the ``top_n_alignments`` best of these per
+    orientation (deduplicated by locus), and the select stage merges
+    both orientations' lists.  Candidates carry everything needed to
+    (a) calibrate MAPQ from the runner-up distances and (b) let the
+    paired-end driver re-select a non-best locus when the insert-size
+    model prefers it.
+
+    Attributes mirror the placement fields of :class:`MappingResult`.
+    """
+
+    distance: int
+    cigar: Cigar
+    strand: str
+    node_id: int | None = None
+    node_offset: int | None = None
+    path_nodes: tuple[int, ...] = ()
+    linear_position: int | None = None
+    windows: int = 0
+    rescues: int = 0
+
+    @property
+    def sort_key(self) -> tuple:
+        """Deterministic candidate order: ``(distance, strand,
+        position)``.
+
+        Lower edit distance first; on ties the forward strand wins
+        (matching :func:`repro.core.pipeline.best_of`), then the
+        leftmost placement.  The key is total and input-order-free,
+        so candidate lists are identical under ``--jobs`` sharding,
+        region-order changes, and cache warmth.
+        """
+        if self.linear_position is not None:
+            position = (self.linear_position, 0, 0)
+        else:
+            position = (0, self.node_id or 0, self.node_offset or 0)
+        return (self.distance, 0 if self.strand == "+" else 1,
+                position)
 
 
 @dataclass
@@ -110,6 +172,14 @@ class MappingResult:
         regions_aligned: candidate regions BitAlign actually processed.
         windows / rescues: windowed-alignment counters summed over the
             best alignment.
+        candidates: the top-N retained alignments (both orientations,
+            deduplicated by locus, best first); ``candidates[0]`` is
+            the reported placement.
+        second_best_distance: edit distance of the runner-up candidate
+            locus (None when the placement is unique) — the MAPQ
+            calibration signal.
+        candidate_count: distinct candidate loci that survived
+            deduplication, before top-N truncation.
     """
 
     read_name: str
@@ -126,6 +196,9 @@ class MappingResult:
     regions_aligned: int = 0
     windows: int = 0
     rescues: int = 0
+    candidates: tuple[AlignmentCandidate, ...] = ()
+    second_best_distance: int | None = None
+    candidate_count: int = 0
 
     @property
     def identity(self) -> float | None:
@@ -134,6 +207,57 @@ class MappingResult:
         if not self.mapped or self.cigar is None:
             return None
         return self.cigar.matches / self.read_length
+
+    @property
+    def mapq(self) -> int:
+        """Calibrated mapping quality (see
+        :func:`repro.core.alignment.mapq_from_candidates`)."""
+        return self.mapq_with()
+
+    def mapq_with(self, proper_pair: bool = False) -> int:
+        """Calibrated MAPQ, optionally with the proper-pair bonus."""
+        return mapq_from_candidates(
+            self.identity, self.distance, self.second_best_distance,
+            proper_pair=proper_pair,
+        )
+
+    def with_candidate(self, index: int) -> "MappingResult":
+        """A copy of this result re-pointed at ``candidates[index]``.
+
+        The paired-end driver scores the full candidate grid of both
+        mates; when the insert-size model selects a non-best locus,
+        the reported mate result is rebuilt from that candidate.  The
+        copy's ``second_best_distance`` is the best distance among the
+        *other* candidate loci: for the primary candidate that is the
+        already-recorded runner-up (computed before top-N truncation,
+        so a repeat tie survives even at ``top_n_alignments=1``); for
+        a non-best selection it is the primary candidate itself, so
+        MAPQ correctly reflects that a better single-end placement
+        existed.
+        """
+        chosen = self.candidates[index]
+        if index == 0:
+            second = self.second_best_distance
+        else:
+            # The primary candidate is always retained, so the best
+            # "other" locus is in the truncated tuple.
+            second = min(c.distance
+                         for i, c in enumerate(self.candidates)
+                         if i != index)
+        return replace(
+            self,
+            mapped=True,
+            distance=chosen.distance,
+            cigar=chosen.cigar,
+            node_id=chosen.node_id,
+            node_offset=chosen.node_offset,
+            path_nodes=chosen.path_nodes,
+            linear_position=chosen.linear_position,
+            strand=chosen.strand,
+            windows=chosen.windows,
+            rescues=chosen.rescues,
+            second_best_distance=second,
+        )
 
 
 class SeGraM:

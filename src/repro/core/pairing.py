@@ -6,15 +6,21 @@ forward, mate 2 reverse-complemented, with the fragment length (the
 maps both mates through the staged pipeline (:mod:`repro.core.
 pipeline`), then treats pairing as a selection problem:
 
-1. **Candidate pairs** — each mate is mapped on both strands (stages
-   1-4 per orientation); every orientation combination of the two
-   mates is scored as ``d1 + d2 + insert_penalty``, where the penalty
-   is the Gaussian negative log-likelihood of the observed template
+1. **Candidate grid** — each mate is mapped on both strands (stages
+   1-4 per orientation) and keeps its ``top_n_alignments`` best
+   candidate loci (:class:`~repro.core.mapper.AlignmentCandidate`).
+   Every combination in the N x N grid of the two mates' candidates
+   is scored as ``d1 + d2 + insert_penalty``, where the penalty is
+   the Gaussian negative log-likelihood of the observed template
    length in edit-distance units.  Combinations with *proper* FR
    geometry (opposite strands, forward mate leftmost, template length
    within ``insert_mean ± max_deviation * insert_std``) are always
    preferred over improper ones — the pairing bonus of classical
-   short-read mappers.
+   short-read mappers.  Because runner-up loci stay in the grid,
+   a mate whose single-end winner is the wrong copy of a repeat is
+   re-placed at the copy the insert model supports — repeat ties pair
+   correctly *without* a rescue alignment (the GenPairX observation,
+   PAPERS.md).
 2. **Mate rescue** — when no proper combination exists but one mate
    maps confidently, the other mate is searched for directly with a
    windowed fitting alignment over the reference span where its
@@ -24,6 +30,14 @@ pipeline`), then treats pairing as a selection problem:
    BitAlign kernel that serves the pipeline, pointed at the rescue
    window, exactly the GenPairX co-design (PAPERS.md): rescue is one
    more BitAlign dispatch, not a separate datapath.
+3. **Discordant classification** — pairs that end up non-proper are
+   classified (:func:`classify_pair`) into the structural-variant
+   evidence categories downstream callers consume: wrong orientation
+   (same strand, or reverse mate leftmost), template-length outlier
+   (correct FR geometry but TLEN beyond ``max_deviation`` standard
+   deviations), or unmapped-mate.  The category is counted in
+   :class:`PairStats`, stamped on each pair's SAM records via the
+   ``YC:Z:`` tag, and reported by ``--discordant-out``.
 
 Rescue needs linear reference coordinates, so it activates when the
 mapper was built from a linear reference (:class:`~repro.graph.
@@ -37,7 +51,7 @@ into the parent.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Sequence
 
 from repro import seq as seqmod
@@ -47,6 +61,35 @@ from repro.core.pipeline import ShardContext, run_sharded
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.mapper import SeGraM
+
+
+#: Discordant-pair categories (the ``YC:Z:`` SAM tag vocabulary).
+CATEGORY_PROPER = "proper"
+CATEGORY_WRONG_ORIENTATION = "wrong_orientation"
+CATEGORY_TLEN_OUTLIER = "tlen_outlier"
+CATEGORY_ONE_MATE_UNMAPPED = "one_mate_unmapped"
+CATEGORY_BOTH_UNMAPPED = "both_unmapped"
+#: Both mates mapped but at least one has no linear projection
+#: (graph-only mapper): orientation/TLEN cannot be measured.
+CATEGORY_UNPLACED = "unplaced"
+
+PAIR_CATEGORIES = (
+    CATEGORY_PROPER,
+    CATEGORY_WRONG_ORIENTATION,
+    CATEGORY_TLEN_OUTLIER,
+    CATEGORY_ONE_MATE_UNMAPPED,
+    CATEGORY_BOTH_UNMAPPED,
+    CATEGORY_UNPLACED,
+)
+
+#: The categories that make a pair *discordant* (structural-variant
+#: evidence): everything except proper and the unclassifiable bucket.
+DISCORDANT_CATEGORIES = (
+    CATEGORY_WRONG_ORIENTATION,
+    CATEGORY_TLEN_OUTLIER,
+    CATEGORY_ONE_MATE_UNMAPPED,
+    CATEGORY_BOTH_UNMAPPED,
+)
 
 
 @dataclass(frozen=True)
@@ -121,13 +164,22 @@ class PairedEndConfig:
 
 @dataclass
 class PairStats:
-    """Pair-level counters, mergeable across batch shards."""
+    """Pair-level counters, mergeable across batch shards.
+
+    ``discordant`` tallies discordant pairs by category (keys from
+    :data:`DISCORDANT_CATEGORIES` only, so ``pairs_discordant``
+    agrees with ``PairResult.discordant`` and with the
+    ``--discordant-out`` report); unclassifiable graph-only pairs
+    are counted separately in ``pairs_unplaced``.
+    """
 
     pairs: int = 0
     pairs_proper: int = 0
     pairs_both_mapped: int = 0
     rescue_attempts: int = 0
     rescue_hits: int = 0
+    pairs_unplaced: int = 0
+    discordant: dict = field(default_factory=dict)
 
     @property
     def proper_pair_rate(self) -> float:
@@ -138,19 +190,42 @@ class PairStats:
         return self.rescue_hits / self.rescue_attempts \
             if self.rescue_attempts else 0.0
 
+    @property
+    def pairs_discordant(self) -> int:
+        return sum(self.discordant.values())
+
+    def count_category(self, category: str) -> None:
+        if category in DISCORDANT_CATEGORIES:
+            self.discordant[category] = \
+                self.discordant.get(category, 0) + 1
+        elif category == CATEGORY_UNPLACED:
+            self.pairs_unplaced += 1
+
     def merge(self, other: "PairStats") -> None:
         self.pairs += other.pairs
         self.pairs_proper += other.pairs_proper
         self.pairs_both_mapped += other.pairs_both_mapped
         self.rescue_attempts += other.rescue_attempts
         self.rescue_hits += other.rescue_hits
+        self.pairs_unplaced += other.pairs_unplaced
+        for category, count in other.discordant.items():
+            self.discordant[category] = \
+                self.discordant.get(category, 0) + count
 
     def summary_lines(self) -> list[str]:
+        breakdown = ", ".join(
+            f"{category}: {self.discordant[category]}"
+            for category in DISCORDANT_CATEGORIES
+            if category in self.discordant
+        ) or "none"
+        if self.pairs_unplaced:
+            breakdown += f"; unplaced: {self.pairs_unplaced}"
         return [
             f"pairs: {self.pairs} total, "
             f"{self.pairs_both_mapped} both mates mapped, "
             f"{self.pairs_proper} proper "
             f"(rate {self.proper_pair_rate:.1%})",
+            f"discordant: {self.pairs_discordant} ({breakdown})",
             f"mate rescue: {self.rescue_hits} hits / "
             f"{self.rescue_attempts} attempts "
             f"(hit rate {self.rescue_hit_rate:.1%})",
@@ -174,6 +249,9 @@ class PairResult:
             None unless both mates mapped.
         rescued_mate: 1 or 2 when that mate's placement came from mate
             rescue rather than its own seeding; None otherwise.
+        category: the pair's classification (one of
+            :data:`PAIR_CATEGORIES`): ``proper``, or the discordant
+            category describing *why* the pair is improper.
     """
 
     name: str
@@ -183,10 +261,15 @@ class PairResult:
     template_length: int | None = None
     score: int | None = None
     rescued_mate: int | None = None
+    category: str = CATEGORY_BOTH_UNMAPPED
 
     @property
     def both_mapped(self) -> bool:
         return self.mate1.mapped and self.mate2.mapped
+
+    @property
+    def discordant(self) -> bool:
+        return self.category in DISCORDANT_CATEGORIES
 
 
 @dataclass(frozen=True)
@@ -203,9 +286,15 @@ class _Combo:
     @property
     def sort_key(self) -> tuple:
         # Proper first, then lowest score, then un-rescued, then the
-        # enumeration order the caller appends in (stable sort).
+        # leftmost placements and the forward-first strand of mate 1 —
+        # a total, input-order-free key, so the selected combination
+        # is identical under --jobs sharding and any candidate
+        # enumeration order.
         return (not self.proper, self.score,
-                self.rescued_mate is not None)
+                self.rescued_mate is not None,
+                self.mate1.linear_position or 0,
+                self.mate2.linear_position or 0,
+                0 if self.mate1.strand == "+" else 1)
 
 
 def _linear_span(result: MappingResult) -> tuple[int, int] | None:
@@ -215,6 +304,52 @@ def _linear_span(result: MappingResult) -> tuple[int, int] | None:
         return None
     start = result.linear_position
     return start, start + result.cigar.ref_consumed
+
+
+def classify_pair(mate1: MappingResult, mate2: MappingResult,
+                  config: PairedEndConfig,
+                  proper: bool = False) -> str:
+    """Classify a mapped pair into its concordance category.
+
+    ``proper=True`` (the pair selector already established FR
+    concordance) passes through; otherwise the geometry is measured
+    directly — a pair with FR orientation *and* a template length
+    inside ``insert_mean ± max_deviation * insert_std`` classifies as
+    proper, and everything else lands in one of the discordant
+    categories (:data:`DISCORDANT_CATEGORIES`):
+
+    * ``one_mate_unmapped`` / ``both_unmapped`` — a mate (or both)
+      produced no alignment at all;
+    * ``wrong_orientation`` — both mates mapped but the geometry is
+      not FR: same strand, or the reverse-strand mate is leftmost
+      (everted / outward-facing pairs);
+    * ``tlen_outlier`` — correct FR orientation but the template
+      length falls outside ``insert_mean ± max_deviation *
+      insert_std`` (deletion/insertion evidence);
+    * ``unplaced`` — mapped without linear projections (graph-only
+      mapper), so orientation and TLEN cannot be measured.
+    """
+    if proper:
+        return CATEGORY_PROPER
+    if not mate1.mapped and not mate2.mapped:
+        return CATEGORY_BOTH_UNMAPPED
+    if not (mate1.mapped and mate2.mapped):
+        return CATEGORY_ONE_MATE_UNMAPPED
+    span1 = _linear_span(mate1)
+    span2 = _linear_span(mate2)
+    if span1 is None or span2 is None:
+        return CATEGORY_UNPLACED
+    if mate1.strand == mate2.strand:
+        return CATEGORY_WRONG_ORIENTATION
+    plus, minus = (span1, span2) if mate1.strand == "+" \
+        else (span2, span1)
+    if plus[0] > minus[0]:
+        return CATEGORY_WRONG_ORIENTATION
+    template = max(span1[1], span2[1]) - min(span1[0], span2[0])
+    if config.min_template_length <= template \
+            <= config.max_template_length:
+        return CATEGORY_PROPER
+    return CATEGORY_TLEN_OUTLIER
 
 
 class PairedEndMapper:
@@ -240,18 +375,23 @@ class PairedEndMapper:
 
     def map_pair(self, read1: str, read2: str,
                  name: str = "pair") -> PairResult:
-        """Map one FR read pair; returns the best-scoring pairing."""
+        """Map one FR read pair; returns the best-scoring pairing.
+
+        Scores the full candidate grid — every retained candidate
+        locus of mate 1 against every retained locus of mate 2 (up to
+        ``top_n_alignments`` squared combinations, both strands
+        included) — so a repeat-tied mate is re-placed at the copy
+        the insert-size model supports without any rescue alignment.
+        """
         read1 = seqmod.validate(read1, "read 1", allow_ambiguous=True)
         read2 = seqmod.validate(read2, "read 2", allow_ambiguous=True)
         pipeline = self.mapper.pipeline
-        best1, fwd1, rev1 = pipeline.map_read_candidates(
-            read1, f"{name}/1")
-        best2, fwd2, rev2 = pipeline.map_read_candidates(
-            read2, f"{name}/2")
+        best1, _, _ = pipeline.map_read_candidates(read1, f"{name}/1")
+        best2, _, _ = pipeline.map_read_candidates(read2, f"{name}/2")
 
         combos: list[_Combo] = []
-        for c1 in (fwd1, rev1):
-            for c2 in (fwd2, rev2):
+        for c1 in self._candidate_results(best1):
+            for c2 in self._candidate_results(best2):
                 combo = self._score_combo(c1, c2)
                 if combo is not None:
                     combos.append(combo)
@@ -278,12 +418,32 @@ class PairedEndMapper:
             )
             if best_combo.rescued_mate is not None:
                 self.stats.rescue_hits += 1
+        result.category = classify_pair(result.mate1, result.mate2,
+                                        self.config, result.proper)
         self.stats.pairs += 1
+        self.stats.count_category(result.category)
         if result.both_mapped:
             self.stats.pairs_both_mapped += 1
         if result.proper:
             self.stats.pairs_proper += 1
         return result
+
+    @staticmethod
+    def _candidate_results(best: MappingResult) -> list[MappingResult]:
+        """One :class:`MappingResult` per retained candidate locus.
+
+        ``best.candidates`` is the merged, deduplicated, top-N list
+        over both orientations (best first); each entry materializes
+        as a full result via
+        :meth:`~repro.core.mapper.MappingResult.with_candidate`, so
+        the grid scorer and the SAM writer see ordinary mate results.
+        Results without candidate lists (unmapped reads) contribute
+        the bare result, preserving the mate-unmapped bookkeeping.
+        """
+        if not best.candidates:
+            return [best]
+        return [best.with_candidate(i)
+                for i in range(len(best.candidates))]
 
     # ------------------------------------------------------------------
     # Scoring

@@ -51,7 +51,8 @@ from repro.core.minseed import SeedRegion, SeedingStats
 from repro.graph.linearize import LinearizedGraph, linearize
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from repro.core.mapper import MappingResult, SeGraM
+    from repro.core.mapper import AlignmentCandidate, MappingResult, \
+        SeGraM
 
 
 #: Stage names in execution order (also the row order of stats tables).
@@ -388,7 +389,17 @@ class ExtractStage:
 
 class AlignStage:
     """Step 4 (paper Section 7): windowed BitAlign over each region,
-    keeping the best alignment by edit distance."""
+    keeping the ``top_n_alignments`` best alignments by edit distance.
+
+    Every aligned region yields an
+    :class:`~repro.core.mapper.AlignmentCandidate`; candidates are
+    ordered by the stable ``(distance, strand, position)`` key,
+    deduplicated by locus (overlapping seed regions re-derive the same
+    placement — only distinct loci may count as MAPQ competitors), and
+    truncated to the configured top N.  The best candidate becomes the
+    result's reported placement, exactly as the old single-winner
+    stage chose it.
+    """
 
     name = "align"
 
@@ -404,6 +415,7 @@ class AlignStage:
             mapped=False, strand=task.strand, seeding=seeded.stats,
         )
         stats.items_in += len(seeded.regions)
+        candidates: "list[AlignmentCandidate]" = []
         best_distance: int | None = None
         for region in prepared.stream:
             with _timed(stats):
@@ -415,53 +427,122 @@ class AlignStage:
                 pipe.stats.regions_aligned += 1
                 pipe.stats.windows += aligned.windows
                 pipe.stats.rescues += aligned.rescues
+                candidates.append(
+                    self._candidate(aligned, region, task.strand,
+                                    pipe))
                 if best_distance is None \
                         or aligned.distance < best_distance:
                     best_distance = aligned.distance
-                    self._commit(result, aligned, region, pipe)
             if (pipe.config.early_exit_distance is not None
                     and best_distance is not None
                     and best_distance
                     <= pipe.config.early_exit_distance):
                 break
         stats.dropped += len(seeded.regions) - result.regions_aligned
+        commit_candidates(result, candidates,
+                          pipe.config.top_n_alignments)
         return result
 
     @staticmethod
-    def _commit(result: "MappingResult", aligned, region: PreparedRegion,
-                pipe: "MappingPipeline") -> None:
-        """Record a new best alignment on the mapping result."""
-        result.mapped = True
-        result.distance = aligned.distance
-        result.cigar = aligned.cigar
-        result.windows = aligned.windows
-        result.rescues = aligned.rescues
+    def _candidate(aligned, region: PreparedRegion, strand: str,
+                   pipe: "MappingPipeline") -> "AlignmentCandidate":
+        """Materialize one aligned region as a candidate placement."""
+        from repro.core.mapper import AlignmentCandidate
+
+        node_id = node_offset = linear_position = None
+        path_nodes: tuple[int, ...] = ()
         lin = region.lin
         if aligned.path:
             first = aligned.path[0]
             local_node = lin.node_ids[first]
-            result.node_id = region.original_ids[local_node]
-            result.node_offset = lin.node_offsets[first]
-            path_nodes: list[int] = []
+            node_id = region.original_ids[local_node]
+            node_offset = lin.node_offsets[first]
+            nodes: list[int] = []
             for position in aligned.path:
                 node = region.original_ids[lin.node_ids[position]]
-                if not path_nodes or path_nodes[-1] != node:
-                    path_nodes.append(node)
-            result.path_nodes = tuple(path_nodes)
-            result.linear_position = None
+                if not nodes or nodes[-1] != node:
+                    nodes.append(node)
+            path_nodes = tuple(nodes)
             if pipe.built is not None:
-                result.linear_position = pipe.built.project_to_reference(
-                    result.node_id, result.node_offset,
+                linear_position = pipe.built.project_to_reference(
+                    node_id, node_offset,
                 )
-        else:
-            result.node_id = None
-            result.node_offset = None
-            result.path_nodes = ()
-            result.linear_position = None
+        return AlignmentCandidate(
+            distance=aligned.distance, cigar=aligned.cigar,
+            strand=strand, node_id=node_id, node_offset=node_offset,
+            path_nodes=path_nodes, linear_position=linear_position,
+            windows=aligned.windows, rescues=aligned.rescues,
+        )
+
+
+def _same_locus(a: "AlignmentCandidate", b: "AlignmentCandidate",
+                read_length: int) -> bool:
+    """Whether two candidates describe the same reference locus.
+
+    Overlapping seed regions of one read re-derive the same placement
+    (possibly shifted by an indel); counting them as independent
+    candidates would fake a repeat tie and zero out MAPQ on unique
+    reads.  Two placements on the same strand whose starts are within
+    half a read length are one locus; with no linear projection
+    (graph-only mappers) the exact ``(node_id, node_offset)`` anchor
+    decides.
+    """
+    if a.strand != b.strand:
+        return False
+    if a.linear_position is not None and b.linear_position is not None:
+        return abs(a.linear_position - b.linear_position) \
+            < max(1, read_length // 2)
+    return (a.node_id, a.node_offset) == (b.node_id, b.node_offset)
+
+
+def commit_candidates(result: "MappingResult",
+                      candidates: "list[AlignmentCandidate]",
+                      top_n: int) -> None:
+    """Order, deduplicate, truncate, and commit candidates.
+
+    Candidates are sorted by the stable ``(distance, strand,
+    position)`` key, collapsed per locus (best survivor wins), and
+    the top ``top_n`` retained.  The best candidate's placement is
+    written onto ``result``; ``second_best_distance`` /
+    ``candidate_count`` record the calibration signal.
+    """
+    ordered = sorted(candidates, key=lambda c: c.sort_key)
+    kept: "list[AlignmentCandidate]" = []
+    for candidate in ordered:
+        if any(_same_locus(candidate, existing, result.read_length)
+               for existing in kept):
+            continue
+        kept.append(candidate)
+    result.candidate_count = len(kept)
+    result.candidates = tuple(kept[:top_n])
+    if not kept:
+        return
+    best = kept[0]
+    result.mapped = True
+    result.distance = best.distance
+    result.cigar = best.cigar
+    result.node_id = best.node_id
+    result.node_offset = best.node_offset
+    result.path_nodes = best.path_nodes
+    result.linear_position = best.linear_position
+    result.windows = best.windows
+    result.rescues = best.rescues
+    # From the full deduplicated list, not the truncated tuple: the
+    # runner-up locus calibrates MAPQ even at top_n_alignments=1.
+    result.second_best_distance = kept[1].distance \
+        if len(kept) >= 2 else None
 
 
 class SelectStage:
-    """Step 5: fold per-orientation results into the final one."""
+    """Step 5: fold per-orientation results into the final one.
+
+    Beyond picking the winning orientation (:func:`best_of`), the
+    candidate lists of both orientations merge under the same
+    ``(distance, strand, position)`` key, so the final result's
+    ``second_best_distance`` sees cross-strand competitors too — a
+    reverse-strand repeat copy is as real a MAPQ threat as a
+    forward-strand one.
+    """
 
     name = "select"
 
@@ -473,6 +554,24 @@ class SelectStage:
             stats.items_in += 1 if reverse is None else 2
             stats.items_out += 1
             best = best_of(forward, reverse)
+            if reverse is not None and (forward.candidates
+                                        or reverse.candidates):
+                merged = sorted(
+                    forward.candidates + reverse.candidates,
+                    key=lambda c: c.sort_key,
+                )[:pipe.config.top_n_alignments]
+                loser = reverse if best is forward else forward
+                # The cross-orientation runner-up is either the
+                # winner's own second locus or the other strand's
+                # best — strands never share a locus.
+                second = best.second_best_distance
+                if loser.mapped and loser.distance is not None:
+                    second = loser.distance if second is None \
+                        else min(second, loser.distance)
+                best.candidates = tuple(merged)
+                best.candidate_count = (forward.candidate_count
+                                        + reverse.candidate_count)
+                best.second_best_distance = second
             pipe.stats.reads += 1
             if best.mapped:
                 pipe.stats.reads_mapped += 1
@@ -487,7 +586,11 @@ def best_of(forward: "MappingResult",
     results the lower edit distance wins, and on equal distance (or a
     missing distance on either side) the forward orientation is kept —
     the deterministic tie-break the strand-reporting contract relies
-    on.
+    on.  The same ordering governs candidate lists (the
+    ``AlignmentCandidate.sort_key`` tuple ``(distance, strand,
+    position)``), so the selected placement, the candidate ranking,
+    and therefore MAPQ are identical under ``--jobs`` sharding and
+    any region-enumeration order.
     """
     if reverse is None or not reverse.mapped:
         return forward

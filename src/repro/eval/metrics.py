@@ -3,6 +3,14 @@
 The paper argues MinSeed preserves sensitivity because it applies the
 same frequency-filter optimization as the software tools.  These
 metrics quantify that on simulated reads with known ground truth.
+
+Beyond position accuracy, :func:`evaluate_mapq_calibration` checks
+the *MAPQ contract* downstream variant callers rely on ("Accelerating
+Genome Analysis" primer): a mapping reported at high MAPQ must almost
+never be wrong — wrong placements should be flagged by a low MAPQ
+(repeat ties score 0-3).  :func:`evaluate_paired_mappings` also
+tallies the discordant-pair classification
+(:func:`repro.core.pairing.classify_pair`).
 """
 
 from __future__ import annotations
@@ -10,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Sequence
 
+from repro.core.alignment import TIE_MAPQ
 from repro.core.mapper import MappingResult
 from repro.sim.longread import SimulatedLinearRead
 
@@ -78,6 +87,81 @@ def evaluate_linear_mappings(
 
 
 @dataclass(frozen=True)
+class MapqCalibration:
+    """How trustworthy the reported MAPQ values are.
+
+    Attributes:
+        total_mapped: mapped reads evaluated.
+        wrong: mapped reads placed outside the tolerance of their
+            simulated origin.
+        confident: mapped reads at or above the confident-MAPQ
+            threshold.
+        wrong_confident: wrong reads *reported as confident* — the
+            calibration failures downstream callers cannot recover
+            from.
+        tied: mapped reads reported at tie-level MAPQ
+            (<= :data:`repro.core.alignment.TIE_MAPQ`).
+    """
+
+    total_mapped: int
+    wrong: int
+    confident: int
+    wrong_confident: int
+    tied: int
+
+    @property
+    def wrong_at_confident_rate(self) -> float:
+        """Fraction of confident calls that are wrong (the <1 %
+        acceptance bar)."""
+        return self.wrong_confident / self.confident \
+            if self.confident else 0.0
+
+    @property
+    def tie_rate(self) -> float:
+        return self.tied / self.total_mapped \
+            if self.total_mapped else 0.0
+
+
+def evaluate_mapq_calibration(
+    results: Sequence[MappingResult],
+    truths: Sequence[SimulatedLinearRead],
+    tolerance: int = 50,
+    confident_mapq: int = 30,
+) -> MapqCalibration:
+    """Score MAPQ calibration against simulated linear-read truth.
+
+    Uses the same correctness rule as
+    :func:`evaluate_linear_mappings`; a result's MAPQ is the
+    calibrated :attr:`~repro.core.mapper.MappingResult.mapq`.
+    """
+    if len(results) != len(truths):
+        raise ValueError(
+            f"{len(results)} results vs {len(truths)} truths"
+        )
+    total_mapped = wrong = confident = wrong_confident = tied = 0
+    for result, truth in zip(results, truths):
+        if not result.mapped:
+            continue
+        total_mapped += 1
+        mapq = result.mapq
+        correct = (result.linear_position is not None
+                   and abs(result.linear_position - truth.ref_start)
+                   <= tolerance)
+        if mapq >= confident_mapq:
+            confident += 1
+        if mapq <= TIE_MAPQ:
+            tied += 1
+        if not correct:
+            wrong += 1
+            if mapq >= confident_mapq:
+                wrong_confident += 1
+    return MapqCalibration(
+        total_mapped=total_mapped, wrong=wrong, confident=confident,
+        wrong_confident=wrong_confident, tied=tied,
+    )
+
+
+@dataclass(frozen=True)
 class PairedAccuracy:
     """Aggregate paired-end mapping-quality counters.
 
@@ -89,6 +173,9 @@ class PairedAccuracy:
         mates_correct: mates placed within tolerance of their
             simulated origin.
         pairs_correct: pairs with *both* mates placed correctly.
+        pairs_wrong_orientation: pairs classified wrong-orientation.
+        pairs_tlen_outlier: pairs classified template-length outlier.
+        pairs_unmapped_mate: pairs with one or both mates unmapped.
     """
 
     total_pairs: int
@@ -96,11 +183,20 @@ class PairedAccuracy:
     mates_mapped: int
     mates_correct: int
     pairs_correct: int
+    pairs_wrong_orientation: int = 0
+    pairs_tlen_outlier: int = 0
+    pairs_unmapped_mate: int = 0
 
     @property
     def proper_pair_rate(self) -> float:
         return self.proper_pairs / self.total_pairs \
             if self.total_pairs else 0.0
+
+    @property
+    def discordant_pairs(self) -> int:
+        return (self.pairs_wrong_orientation
+                + self.pairs_tlen_outlier
+                + self.pairs_unmapped_mate)
 
     @property
     def mate_accuracy(self) -> float:
@@ -134,8 +230,16 @@ def evaluate_paired_mappings(
     A mate is *correct* when its projected linear position is within
     ``tolerance`` bases of its simulated origin (same rule as
     :func:`evaluate_linear_mappings`); a pair is correct when both
-    mates are.
+    mates are.  Discordant classification counters come from each
+    pair's ``category``.
     """
+    from repro.core.pairing import (
+        CATEGORY_BOTH_UNMAPPED,
+        CATEGORY_ONE_MATE_UNMAPPED,
+        CATEGORY_TLEN_OUTLIER,
+        CATEGORY_WRONG_ORIENTATION,
+    )
+
     if len(pairs) != len(truths):
         raise ValueError(
             f"{len(pairs)} pair results vs {len(truths)} truths"
@@ -144,9 +248,19 @@ def evaluate_paired_mappings(
     mates_mapped = 0
     mates_correct = 0
     pairs_correct = 0
+    wrong_orientation = 0
+    tlen_outlier = 0
+    unmapped_mate = 0
     for pair, truth in zip(pairs, truths):
         if pair.proper:
             proper += 1
+        if pair.category == CATEGORY_WRONG_ORIENTATION:
+            wrong_orientation += 1
+        elif pair.category == CATEGORY_TLEN_OUTLIER:
+            tlen_outlier += 1
+        elif pair.category in (CATEGORY_ONE_MATE_UNMAPPED,
+                               CATEGORY_BOTH_UNMAPPED):
+            unmapped_mate += 1
         ok = 0
         for result, mate_truth in ((pair.mate1, truth.mate1),
                                    (pair.mate2, truth.mate2)):
@@ -161,4 +275,7 @@ def evaluate_paired_mappings(
         total_pairs=len(pairs), proper_pairs=proper,
         mates_mapped=mates_mapped, mates_correct=mates_correct,
         pairs_correct=pairs_correct,
+        pairs_wrong_orientation=wrong_orientation,
+        pairs_tlen_outlier=tlen_outlier,
+        pairs_unmapped_mate=unmapped_mate,
     )

@@ -16,7 +16,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterable, TextIO, Union
 
-from repro.core.alignment import Cigar, mapq_from_identity
+from repro.core.alignment import Cigar
 from repro.graph.genome_graph import GenomeGraph
 
 if TYPE_CHECKING:  # avoid a circular import; only needed for hints
@@ -81,7 +81,7 @@ def result_to_gaf(result: "MappingResult", graph: GenomeGraph,
         path_end=path_start + ref_span,
         matches=cigar.matches,
         block_length=cigar.matches + cigar.edit_distance,
-        mapq=mapq_from_identity(result.identity),
+        mapq=result.mapq,
         cigar=str(cigar),
     )
 

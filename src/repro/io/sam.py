@@ -5,8 +5,16 @@ Real mappers emit SAM (Sequence Alignment/Map); SeGraM's S2S use case
 The subset the mapper produces is implemented: header (@HD/@SQ),
 mapped/unmapped records with extended-CIGAR (``=``/``X``) alignment,
 the NM edit-distance tag, paired-end records (FLAG bits 0x1/0x2/0x8/
-0x20/0x40/0x80 with RNEXT/PNEXT/TLEN and pair-aware MAPQ), and
+0x20/0x40/0x80 with RNEXT/PNEXT/TLEN, pair-aware calibrated MAPQ, and
+the ``YC:Z:`` pair-category tag carrying the discordant
+classification of :func:`repro.core.pairing.classify_pair`), and
 round-trip parsing of that subset.
+
+**MAPQ.**  Mapping quality is calibrated from the best/second-best
+candidate distance gap (:func:`repro.core.alignment.
+mapq_from_candidates`): unique placements score up to 60, repeat ties
+0-3.  Results without candidate information (e.g. rescued mates) fall
+back to the identity ceiling.
 
 **Orientation.**  Per the SAM spec, SEQ is always stored in the
 orientation that aligns forward to the reference: when FLAG 0x10 is
@@ -23,7 +31,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Iterable, TextIO, Union
 
 from repro import seq as seqmod
-from repro.core.alignment import Cigar, mapq_from_identity
+from repro.core.alignment import Cigar
 
 if TYPE_CHECKING:  # avoid a circular import; only needed for hints
     from repro.core.mapper import MappingResult
@@ -54,6 +62,9 @@ class SamRecord:
     records (FLAG 0x10) it holds the reverse complement of the
     sequenced read.  ``rnext``/``pnext``/``tlen`` are the mate fields
     (columns 7-9); single-end records leave them at ``"*"``/0/0.
+    ``pair_category`` round-trips through the ``YC:Z:`` tag — the
+    discordant classification of the pair this record belongs to
+    (one of :data:`repro.core.pairing.PAIR_CATEGORIES`).
     """
 
     qname: str
@@ -67,6 +78,7 @@ class SamRecord:
     pnext: int = 0
     tlen: int = 0
     edit_distance: int | None = None
+    pair_category: str | None = None
 
     @property
     def is_unmapped(self) -> bool:
@@ -110,20 +122,24 @@ def _oriented_seq(result: "MappingResult", read: str) -> str:
 
 def result_to_sam(result: "MappingResult", read: str,
                   reference_name: str, flag_extra: int = 0,
-                  mapq: int | None = None) -> SamRecord:
+                  mapq: int | None = None,
+                  pair_category: str | None = None) -> SamRecord:
     """Convert a mapping result to a SAM record.
 
     ``result.linear_position`` must be present for mapped reads (the
     mapper fills it when built from a linear reference); mapped results
     without a projection raise, because SAM coordinates are linear.
-    ``flag_extra``/``mapq`` let the pair-aware writer add pair flag
-    bits and override the per-mate MAPQ.
+    MAPQ defaults to the calibrated ``result.mapq`` (best/second-best
+    gap); ``flag_extra``/``mapq``/``pair_category`` let the pair-aware
+    writer add pair flag bits, override the per-mate MAPQ, and stamp
+    the ``YC:Z:`` classification tag.
     """
     if not result.mapped:
         return SamRecord(
             qname=result.read_name,
             flag=FLAG_UNMAPPED | flag_extra, rname="*",
             pos=0, mapq=0, cigar="*", seq=read,
+            pair_category=pair_category,
         )
     if result.linear_position is None:
         raise SamFormatError(
@@ -132,7 +148,7 @@ def result_to_sam(result: "MappingResult", read: str,
         )
     flag = (FLAG_REVERSE if result.strand == "-" else 0) | flag_extra
     if mapq is None:
-        mapq = mapq_from_identity(result.identity)
+        mapq = result.mapq
     return SamRecord(
         qname=result.read_name,
         flag=flag,
@@ -142,6 +158,7 @@ def result_to_sam(result: "MappingResult", read: str,
         cigar=str(result.cigar),
         seq=_oriented_seq(result, read),
         edit_distance=result.distance,
+        pair_category=pair_category,
     )
 
 
@@ -153,12 +170,13 @@ def pair_to_sam(pair: "PairResult", read1: str, read2: str,
     state, 0x40/0x80 mate index), fills RNEXT (``=`` when the mate
     maps to the same reference), PNEXT, and the signed TLEN (positive
     on the leftmost mate, negative on the rightmost, 0 unless both
-    mates mapped), and applies the pair-aware MAPQ
-    (:func:`repro.core.alignment.mapq_from_identity` with the
-    proper-pair bonus).  Per the SAM spec's recommended practice, an
-    unmapped mate whose partner is mapped is co-located with it
-    (RNAME/POS copied from the mapped mate, RNEXT ``=``) so
-    coordinate sorts keep the pair together.
+    mates mapped), and applies the pair-aware calibrated MAPQ
+    (:meth:`~repro.core.mapper.MappingResult.mapq_with` with the
+    proper-pair bonus).  Both records carry the pair's discordant
+    classification in the ``YC:Z:`` tag.  Per the SAM spec's
+    recommended practice, an unmapped mate whose partner is mapped is
+    co-located with it (RNAME/POS copied from the mapped mate, RNEXT
+    ``=``) so coordinate sorts keep the pair together.
     """
     results = (pair.mate1, pair.mate2)
     reads = (read1, read2)
@@ -173,9 +191,10 @@ def pair_to_sam(pair: "PairResult", read1: str, read2: str,
             flag |= FLAG_MATE_UNMAPPED
         elif mate.strand == "-":
             flag |= FLAG_MATE_REVERSE
-        mapq = mapq_from_identity(me.identity, proper_pair=pair.proper)
+        mapq = me.mapq_with(proper_pair=pair.proper)
         records.append(result_to_sam(me, read, reference_name,
-                                     flag_extra=flag, mapq=mapq))
+                                     flag_extra=flag, mapq=mapq,
+                                     pair_category=pair.category))
     rec1, rec2 = records
     if pair.mate1.mapped and pair.mate2.mapped:
         positions = (rec1.pos, rec2.pos)
@@ -222,6 +241,8 @@ def write_sam(
             ]
             if record.edit_distance is not None:
                 fields.append(f"NM:i:{record.edit_distance}")
+            if record.pair_category is not None:
+                fields.append(f"YC:Z:{record.pair_category}")
             handle.write("\t".join(fields) + "\n")
     finally:
         if owned:
@@ -243,9 +264,12 @@ def read_sam(source: PathOrHandle) -> list[SamRecord]:
                     f"line {line_number}: expected >= 11 columns"
                 )
             edit_distance = None
+            pair_category = None
             for tag in fields[11:]:
                 if tag.startswith("NM:i:"):
                     edit_distance = int(tag[5:])
+                elif tag.startswith("YC:Z:"):
+                    pair_category = tag[5:]
             try:
                 record = SamRecord(
                     qname=fields[0], flag=int(fields[1]),
@@ -254,6 +278,7 @@ def read_sam(source: PathOrHandle) -> list[SamRecord]:
                     rnext=fields[6], pnext=int(fields[7]),
                     tlen=int(fields[8]),
                     seq=fields[9], edit_distance=edit_distance,
+                    pair_category=pair_category,
                 )
             except ValueError as exc:
                 raise SamFormatError(
@@ -293,14 +318,35 @@ def validate_sam_pair(rec1: SamRecord, rec2: SamRecord) -> None:
 
     Both must carry the paired flag with complementary mate-index
     bits, the mate-state bits (0x8/0x20) must mirror the other record,
-    RNEXT/PNEXT must point at each other, and the signed TLENs must
-    cancel.
+    RNEXT/PNEXT must point at each other, the signed TLENs must
+    cancel, and the ``YC:Z:`` pair-category tags must agree with each
+    other and with the FLAG bits (proper <=> category "proper";
+    a mate-unmapped bit <=> an unmapped-mate category).
     """
     for rec in (rec1, rec2):
         validate_sam_record(rec)
         if not rec.is_paired:
             raise SamFormatError(f"{rec.qname}: pair record missing "
                                  "FLAG 0x1")
+    if rec1.pair_category != rec2.pair_category:
+        raise SamFormatError(
+            f"{rec1.qname}: pair-category tags disagree "
+            f"({rec1.pair_category!r} vs {rec2.pair_category!r})"
+        )
+    category = rec1.pair_category
+    if category is not None:
+        if (category == "proper") != rec1.is_proper_pair:
+            raise SamFormatError(
+                f"{rec1.qname}: category {category!r} disagrees with "
+                f"the proper-pair flag"
+            )
+        either_unmapped = rec1.is_unmapped or rec2.is_unmapped
+        if (category in ("one_mate_unmapped", "both_unmapped")) \
+                != either_unmapped:
+            raise SamFormatError(
+                f"{rec1.qname}: category {category!r} disagrees with "
+                f"the unmapped flags"
+            )
     if not (rec1.is_first_in_pair and rec2.is_second_in_pair):
         raise SamFormatError(
             f"{rec1.qname}: expected 0x40/0x80 mate-index flags, got "

@@ -99,22 +99,36 @@ def simulate_fragments(
     rng: random.Random,
     profile: PairedEndProfile | None = None,
     name_prefix: str = "frag",
+    start_range: tuple[int, int] | None = None,
 ) -> list[SimulatedFragment]:
     """Draw ``count`` fragments from a reference.
 
     Insert sizes are Gaussian draws clamped to
-    ``[read_length, len(reference)]``; fragment starts are uniform.
+    ``[read_length, len(reference)]``; fragment starts are uniform
+    over the reference, or over ``start_range`` (``[lo, hi)``) when
+    given — the hook for planting fragments at chosen loci, e.g.
+    starting *inside one copy* of a planted repeat so that one mate
+    is repeat-ambiguous while the other anchors in unique flank
+    (the MAPQ-calibration and repeat-tie pairing ground truth).
     """
     if count < 0:
         raise ValueError("count must be >= 0")
     profile = profile or PairedEndProfile()
     read_length = min(profile.read_length, len(reference))
+    lo, hi = (0, len(reference)) if start_range is None \
+        else start_range
+    if not 0 <= lo < hi <= len(reference):
+        raise ValueError(
+            f"start_range {start_range} outside the reference "
+            f"[0, {len(reference)})"
+        )
     fragments: list[SimulatedFragment] = []
     for index in range(count):
         insert = int(round(rng.gauss(profile.insert_mean,
                                      profile.insert_std)))
-        insert = max(read_length, min(insert, len(reference)))
-        start = rng.randint(0, len(reference) - insert)
+        insert = max(read_length, min(insert, len(reference) - lo))
+        start = rng.randint(lo, max(lo, min(hi - 1,
+                                            len(reference) - insert)))
         fragment = reference[start:start + insert]
         mate1 = _sequence_mate(
             fragment[:read_length], profile.model, rng,

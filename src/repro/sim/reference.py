@@ -21,6 +21,46 @@ def random_reference(length: int, rng: random.Random) -> str:
     return seqmod.random_sequence(length, rng)
 
 
+def reference_with_exact_repeats(
+    length: int,
+    rng: random.Random,
+    repeat_length: int = 400,
+    copies: int = 2,
+) -> tuple[str, list[int]]:
+    """A reference with one repeat family of *byte-identical* copies.
+
+    Unlike :func:`reference_with_repeats` (whose copies diverge by a
+    few point mutations), the planted copies here are exact, so a
+    read drawn from inside one copy has perfectly tied alignments at
+    every copy — the worst case for MAPQ calibration (ties must be
+    reported at MAPQ <= 3) and for pairing (only the mate's insert
+    model can break the tie).
+
+    Returns ``(reference, copy_starts)``: the ground truth needed to
+    decide whether a mapping landed in *some* copy versus a genuinely
+    wrong locus.  Copies are evenly spaced with unique flanks between
+    them.
+    """
+    if copies < 2:
+        raise ValueError(f"copies must be >= 2, got {copies}")
+    if repeat_length < 10:
+        raise ValueError("repeat_length must be >= 10")
+    if copies * repeat_length * 2 > length:
+        raise ValueError(
+            f"length {length} too small for {copies} copies of "
+            f"{repeat_length} bases with unique flanks"
+        )
+    backbone = list(seqmod.random_sequence(length, rng))
+    template = seqmod.random_sequence(repeat_length, rng)
+    spacing = length // copies
+    copy_starts = []
+    for index in range(copies):
+        start = index * spacing + (spacing - repeat_length) // 2
+        backbone[start:start + repeat_length] = template
+        copy_starts.append(start)
+    return "".join(backbone), copy_starts
+
+
 def reference_with_repeats(
     length: int,
     rng: random.Random,

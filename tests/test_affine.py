@@ -7,7 +7,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.align.affine import (
-    AffineAlignment,
     AffineScoring,
     AffineSizeError,
     affine_align,
