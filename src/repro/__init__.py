@@ -9,7 +9,14 @@ EXPERIMENTS.md for the reproduced tables and figures.
 
 Public API highlights:
 
-* :class:`repro.SeGraM` — the end-to-end mapper (MinSeed + BitAlign).
+* :class:`repro.api.Mapper` — **the** public mapping facade: build
+  once from a (multi-contig) FASTA/GFA, then ``map`` /
+  ``map_batch`` / ``map_pairs`` all return contig-qualified
+  :class:`repro.api.MappingRecord` results.
+* :class:`repro.refs.ReferenceSet` — N named contigs (linear or
+  graph-backed) behind one shared minimizer index.
+* :class:`repro.SeGraM` — the mapping engine (MinSeed + BitAlign)
+  behind the facade.
 * :func:`repro.build_graph` — variation-graph construction
   (``vg construct`` equivalent).
 * :func:`repro.bitalign` — standalone sequence-to-graph alignment.
@@ -21,14 +28,20 @@ from repro.core.mapper import MappingResult, SeGraM, SeGraMConfig
 from repro.core.minseed import MinSeed
 from repro.core.windows import WindowedAligner, WindowingConfig
 from repro.core.alignment import Cigar, replay_alignment
+from repro.api import Mapper, MappingRecord
 from repro.graph.builder import BuiltGraph, Variant, build_graph
 from repro.graph.genome_graph import GenomeGraph
 from repro.graph.linearize import LinearizedGraph, linearize
 from repro.index.hash_index import HashTableIndex, build_index
+from repro.refs.reference import Contig, ReferenceSet
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "Mapper",
+    "MappingRecord",
+    "Contig",
+    "ReferenceSet",
     "SeGraM",
     "SeGraMConfig",
     "MappingResult",

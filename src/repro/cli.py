@@ -22,7 +22,8 @@ from pathlib import Path
 from typing import Sequence
 
 from repro.align.backends import list_backends
-from repro.core.mapper import SeGraM, SeGraMConfig
+from repro.api import Mapper, MappingRecord
+from repro.core.mapper import SeGraMConfig
 from repro.core.pipeline import effective_jobs
 from repro.core.windows import WindowingConfig
 from repro.eval.report import format_table
@@ -203,7 +204,10 @@ def cmd_map(args: argparse.Namespace) -> int:
         raise SystemExit("error: --top-n must be >= 1")
     if args.discordant_out is not None and args.paired is None:
         raise SystemExit("error: --discordant-out requires --paired")
-    ref_name, reference = _load_reference(args.reference)
+    ref_records = read_fasta(args.reference)
+    if not ref_records:
+        raise SystemExit(f"error: no FASTA records in "
+                         f"{args.reference}")
     variants = read_vcf(args.vcf) if args.vcf else []
     config = SeGraMConfig(
         w=args.w, k=args.k, bucket_bits=args.bucket_bits,
@@ -218,27 +222,37 @@ def cmd_map(args: argparse.Namespace) -> int:
         region_cache_size=args.cache_size,
         align_backend=args.align_backend,
     )
-    mapper = SeGraM.from_reference(reference, variants, config=config,
-                                   name=ref_name,
-                                   max_node_length=4_096)
+    pair_config = None
     if args.paired is not None:
-        return _map_paired(args, mapper, ref_name, reference)
+        from repro.core.pairing import PairedEndConfig
+
+        pair_config = PairedEndConfig(
+            insert_mean=args.insert_mean,
+            insert_std=args.insert_std,
+            rescue=not args.no_mate_rescue,
+        )
+    mapper = Mapper(ref_records, variants, config=config,
+                    pair_config=pair_config,
+                    max_node_length=4_096)
+    if args.paired is not None:
+        return _map_paired(args, mapper)
     out_format = args.format or "gaf"
     reads = _load_reads(args.reads)
-    mapped_reads = mapper.map_batch(reads, jobs=args.jobs)
-    results = [(result, seq)
-               for result, (_, seq) in zip(mapped_reads, reads)]
+    records = mapper.map_batch(reads, jobs=args.jobs)
+    results = [(record, seq)
+               for record, (_, seq) in zip(records, reads)]
     mapped = sum(1 for r, _ in results if r.mapped)
     if out_format == "gaf":
-        records = [result_to_gaf(r, mapper.graph, seq)
-                   for r, seq in results]
-        write_gaf(args.output, [r for r in records if r is not None])
+        gaf = [result_to_gaf(r.result, mapper.graph, seq)
+               for r, seq in results]
+        write_gaf(args.output, [r for r in gaf if r is not None])
     else:
-        records = [result_to_sam(r, seq, ref_name)
-                   for r, seq in results]
-        write_sam(args.output, records, ref_name, len(reference))
+        sam = [result_to_sam(r.result, seq, r.contig)
+               for r, seq in results]
+        write_sam(args.output, sam, contigs=mapper.contigs)
     print(f"mapped {mapped}/{len(reads)} reads -> {args.output} "
           f"({out_format})")
+    _print_contig_rows(mapper, records)
     stats = mapper.stats
     jobs = effective_jobs(args.jobs, len(reads))
     print(format_table(
@@ -250,10 +264,32 @@ def cmd_map(args: argparse.Namespace) -> int:
     return 0
 
 
-def _map_paired(args: argparse.Namespace, mapper: SeGraM,
-                ref_name: str, reference: str) -> int:
-    """The ``map --paired`` flow: FR pairs to pair-aware SAM."""
-    from repro.core.pairing import PairedEndConfig
+def _print_contig_rows(mapper: Mapper,
+                       records: "list[MappingRecord]",
+                       proper_by_contig: dict | None = None) -> None:
+    """The per-contig breakdown table of ``map`` / ``map --paired``."""
+    mapped_by_contig: dict[str, int] = {}
+    for record in records:
+        if record.mapped and record.contig is not None:
+            mapped_by_contig[record.contig] = \
+                mapped_by_contig.get(record.contig, 0) + 1
+    rows = []
+    for name, length in mapper.contigs:
+        row = {"contig": name, "length": length,
+               "mapped": mapped_by_contig.get(name, 0)}
+        if proper_by_contig is not None:
+            row["proper pairs"] = proper_by_contig.get(name, 0)
+        rows.append(row)
+    print(format_table(rows, title="per-contig"))
+
+
+def _map_paired(args: argparse.Namespace, mapper: Mapper) -> int:
+    """The ``map --paired`` flow: FR pairs to pair-aware SAM.
+
+    The insert-size model (``--insert-mean``/``--insert-std``/
+    ``--no-mate-rescue``) was already handed to the :class:`Mapper`
+    constructor in :func:`cmd_map`.
+    """
     from repro.io.fasta import read_mate_pairs
     from repro.io.sam import pair_to_sam
 
@@ -263,16 +299,18 @@ def _map_paired(args: argparse.Namespace, mapper: SeGraM,
     pairs = [(name, r1.upper(), r2.upper())
              for name, r1, r2 in read_mate_pairs(args.reads,
                                                  args.paired)]
-    engine = mapper.pair_mapper(PairedEndConfig(
-        insert_mean=args.insert_mean,
-        insert_std=args.insert_std,
-        rescue=not args.no_mate_rescue,
-    ))
-    results = engine.map_pairs(pairs, jobs=args.jobs)
-    records = []
-    for pair, (_, read1, read2) in zip(results, pairs):
-        records.extend(pair_to_sam(pair, read1, read2, ref_name))
-    write_sam(args.output, records, ref_name, len(reference))
+    records = mapper.map_pairs(pairs, jobs=args.jobs)
+    sam = []
+    flat: "list[MappingRecord]" = []
+    proper_by_contig: dict[str, int] = {}
+    for (rec1, rec2), (_, read1, read2) in zip(records, pairs):
+        sam.extend(pair_to_sam(rec1.pair, read1, read2))
+        flat.extend((rec1, rec2))
+        if rec1.proper_pair and rec1.contig is not None:
+            proper_by_contig[rec1.contig] = \
+                proper_by_contig.get(rec1.contig, 0) + 1
+    write_sam(args.output, sam, contigs=mapper.contigs)
+    results = [rec1.pair for rec1, _ in records]
     proper = sum(1 for pair in results if pair.proper)
     print(f"mapped {proper}/{len(pairs)} proper pairs -> "
           f"{args.output} (sam)")
@@ -283,6 +321,7 @@ def _map_paired(args: argparse.Namespace, mapper: SeGraM,
                                           results)
         print(f"wrote {written} discordant pairs -> "
               f"{args.discordant_out}")
+    _print_contig_rows(mapper, flat, proper_by_contig)
     stats = mapper.stats
     jobs = effective_jobs(args.jobs, len(pairs))
     print(format_table(
@@ -291,7 +330,7 @@ def _map_paired(args: argparse.Namespace, mapper: SeGraM,
               f"backend={stats.backend})"))
     for line in stats.summary_lines():
         print(f"  {line}")
-    for line in engine.stats.summary_lines():
+    for line in mapper.pair_stats.summary_lines():
         print(f"  {line}")
     return 0
 

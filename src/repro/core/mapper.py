@@ -25,7 +25,7 @@ workers, and per-stage counters accumulate in
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 from repro import seq as seqmod
 from repro.core.minseed import MinSeed, SeedingStats
@@ -37,6 +37,9 @@ from repro.graph.builder import BuiltGraph, Variant, build_graph
 from repro.graph.genome_graph import GenomeGraph, GraphError
 from repro.index.hash_index import HashTableIndex, build_index
 from repro.index.occurrence import DEFAULT_TOP_FRACTION
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.refs.reference import ReferenceSet
 
 
 @dataclass(frozen=True)
@@ -129,26 +132,30 @@ class AlignmentCandidate:
     node_offset: int | None = None
     path_nodes: tuple[int, ...] = ()
     linear_position: int | None = None
+    contig: str | None = None
     windows: int = 0
     rescues: int = 0
 
     @property
     def sort_key(self) -> tuple:
         """Deterministic candidate order: ``(distance, strand,
-        position)``.
+        contig, position)``.
 
         Lower edit distance first; on ties the forward strand wins
         (matching :func:`repro.core.pipeline.best_of`), then the
-        leftmost placement.  The key is total and input-order-free,
-        so candidate lists are identical under ``--jobs`` sharding,
-        region-order changes, and cache warmth.
+        first contig in reference-name order, then the leftmost
+        placement.  The key is total and input-order-free, so
+        candidate lists are identical under ``--jobs`` sharding,
+        region-order changes, and cache warmth.  (Single-reference
+        mappers carry no contig, so the contig component is constant
+        and the legacy ordering is unchanged.)
         """
         if self.linear_position is not None:
             position = (self.linear_position, 0, 0)
         else:
             position = (0, self.node_id or 0, self.node_offset or 0)
         return (self.distance, 0 if self.strand == "+" else 1,
-                position)
+                self.contig or "", position)
 
 
 @dataclass
@@ -166,7 +173,12 @@ class MappingResult:
             reference character.
         path_nodes: distinct graph node IDs visited, in order.
         linear_position: projection onto the linear reference when the
-            mapper was built from one (for accuracy evaluation).
+            mapper was built from one (for accuracy evaluation).  For
+            multi-contig mappers this is the **contig-local** 0-based
+            position (``contig`` names which one); single-reference
+            mappers leave ``contig`` None.
+        contig: name of the reference contig the placement is on
+            (None for single-reference mappers).
         strand: '+' or '-' (reverse-complement mapping).
         seeding: MinSeed statistics for this read.
         regions_aligned: candidate regions BitAlign actually processed.
@@ -191,6 +203,7 @@ class MappingResult:
     node_offset: int | None = None
     path_nodes: tuple[int, ...] = ()
     linear_position: int | None = None
+    contig: str | None = None
     strand: str = "+"
     seeding: SeedingStats = field(default_factory=SeedingStats)
     regions_aligned: int = 0
@@ -253,6 +266,7 @@ class MappingResult:
             node_offset=chosen.node_offset,
             path_nodes=chosen.path_nodes,
             linear_position=chosen.linear_position,
+            contig=chosen.contig,
             strand=chosen.strand,
             windows=chosen.windows,
             rescues=chosen.rescues,
@@ -269,6 +283,7 @@ class SeGraM:
         config: SeGraMConfig | None = None,
         built: BuiltGraph | None = None,
         index: HashTableIndex | None = None,
+        refs: "ReferenceSet | None" = None,
     ) -> None:
         if not graph.is_topologically_sorted():
             raise GraphError(
@@ -278,6 +293,7 @@ class SeGraM:
         self.graph = graph
         self.config = config or SeGraMConfig()
         self.built = built
+        self.refs = refs
         self.index = index if index is not None else build_index(
             graph, w=self.config.w, k=self.config.k,
             bucket_bits=self.config.bucket_bits,
@@ -286,13 +302,14 @@ class SeGraM:
             graph, self.index,
             error_rate=self.config.error_rate,
             freq_top_fraction=self.config.freq_top_fraction,
+            char_spans=refs.char_spans() if refs is not None else None,
         )
         self.aligner = WindowedAligner(self.config.windowing,
                                        backend=self.config.align_backend)
         self.pipeline = MappingPipeline(
             graph=self.graph, config=self.config,
             minseed=self.minseed, aligner=self.aligner,
-            built=self.built,
+            built=self.built, refs=self.refs,
         )
 
     # ------------------------------------------------------------------
@@ -316,6 +333,23 @@ class SeGraM:
         built = build_graph(reference, variants, name=name,
                             max_node_length=max_node_length)
         return cls(built.graph, config=config, built=built)
+
+    @classmethod
+    def from_reference_set(
+        cls,
+        refs: "ReferenceSet",
+        config: SeGraMConfig | None = None,
+    ) -> "SeGraM":
+        """Build over a multi-contig :class:`~repro.refs.ReferenceSet`.
+
+        One shared minimizer index covers the concatenated contig
+        space; candidate regions are clamped at contig boundaries and
+        every mapped result carries ``(contig, contig-local
+        position)`` coordinates.  A single-contig set reproduces
+        :meth:`from_reference` bit for bit (modulo the ``contig``
+        annotation).
+        """
+        return cls(refs.graph, config=config, refs=refs)
 
     # ------------------------------------------------------------------
     # Mapping

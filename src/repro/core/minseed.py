@@ -26,7 +26,9 @@ BitAlign.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.graph.genome_graph import GenomeGraph
 from repro.index.hash_index import HashTableIndex
@@ -116,6 +118,14 @@ class MinSeed:
         freq_threshold: occurrence-frequency cutoff; minimizers with a
             higher frequency are discarded.  Defaults to the paper's
             top-0.02 % rule computed from the index itself.
+        char_spans: optional half-open ``[start, end)`` intervals
+            partitioning the character space into contigs (from
+            :meth:`repro.refs.ReferenceSet.char_spans`).  When given,
+            each seed's extension region is clamped to the span the
+            seed fell in — the global index's hits bucket back to
+            their contig and no candidate region crosses a contig
+            boundary.  None (the default) clamps to the whole
+            character space, the legacy single-reference behaviour.
     """
 
     def __init__(
@@ -125,6 +135,7 @@ class MinSeed:
         error_rate: float = 0.10,
         freq_threshold: int | None = None,
         freq_top_fraction: float = DEFAULT_TOP_FRACTION,
+        char_spans: Sequence[tuple[int, int]] | None = None,
     ) -> None:
         if not 0.0 <= error_rate < 1.0:
             raise ValueError(f"error_rate must be in [0, 1), got "
@@ -139,6 +150,28 @@ class MinSeed:
         self.freq_threshold = freq_threshold
         self._offsets = graph.offsets()
         self._total_chars = graph.total_sequence_length
+        if char_spans is not None:
+            spans = sorted(tuple(span) for span in char_spans)
+            if not spans or spans[0][0] != 0 \
+                    or spans[-1][1] != self._total_chars \
+                    or any(a[1] != b[0] for a, b in zip(spans, spans[1:])):
+                raise ValueError(
+                    f"char_spans {spans} must partition "
+                    f"[0, {self._total_chars})"
+                )
+            self._span_starts = [start for start, _ in spans]
+            self._spans = spans
+        else:
+            self._span_starts = None
+            self._spans = None
+
+    def _clamp_span(self, seed_char: int) -> tuple[int, int]:
+        """The clamping interval for a seed at character ``seed_char``:
+        its contig's span, or the whole character space."""
+        if self._spans is None:
+            return 0, self._total_chars
+        index = bisect_right(self._span_starts, seed_char) - 1
+        return self._spans[index]
 
     def find_minimizers(self, read: str) -> list[Minimizer]:
         """Step 1: the read's ``<w,k>``-minimizers."""
@@ -180,8 +213,11 @@ class MinSeed:
                 d = c + k - 1
                 x = int(c - a * (1 + e))
                 y = int(d + (m - b - 1) * (1 + e))
-                start = max(0, x)
-                end = min(self._total_chars, y + 1)
+                # Clamp to the seed's contig (or the whole space):
+                # extension never reaches past a contig boundary.
+                span_lo, span_hi = self._clamp_span(c)
+                start = max(span_lo, x)
+                end = min(span_hi, y + 1)
                 if end <= start:
                     continue
                 span = (start, end)

@@ -67,6 +67,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 CATEGORY_PROPER = "proper"
 CATEGORY_WRONG_ORIENTATION = "wrong_orientation"
 CATEGORY_TLEN_OUTLIER = "tlen_outlier"
+#: Mates mapped to two different reference contigs (translocation /
+#: chimeric-fragment evidence); only possible with a multi-contig
+#: :class:`~repro.refs.ReferenceSet` mapper.
+CATEGORY_DIFFERENT_REFERENCE = "different_reference"
 CATEGORY_ONE_MATE_UNMAPPED = "one_mate_unmapped"
 CATEGORY_BOTH_UNMAPPED = "both_unmapped"
 #: Both mates mapped but at least one has no linear projection
@@ -77,6 +81,7 @@ PAIR_CATEGORIES = (
     CATEGORY_PROPER,
     CATEGORY_WRONG_ORIENTATION,
     CATEGORY_TLEN_OUTLIER,
+    CATEGORY_DIFFERENT_REFERENCE,
     CATEGORY_ONE_MATE_UNMAPPED,
     CATEGORY_BOTH_UNMAPPED,
     CATEGORY_UNPLACED,
@@ -87,6 +92,7 @@ PAIR_CATEGORIES = (
 DISCORDANT_CATEGORIES = (
     CATEGORY_WRONG_ORIENTATION,
     CATEGORY_TLEN_OUTLIER,
+    CATEGORY_DIFFERENT_REFERENCE,
     CATEGORY_ONE_MATE_UNMAPPED,
     CATEGORY_BOTH_UNMAPPED,
 )
@@ -108,6 +114,11 @@ class PairedEndConfig:
             rescued mate's length.
         min_anchor_identity: minimum alignment identity of a mate for
             it to anchor a rescue of the other.
+        mate_prefetch: after mate 1 maps, prefetch the node ranges of
+            mate 2's expected insert-window span before mapping it
+            (:meth:`~repro.core.pipeline.MappingPipeline.
+            prefetch_span`) — the ROADMAP's pair-aware cache-key
+            item.  Affects only cache warmth, never results.
     """
 
     insert_mean: float = 350.0
@@ -116,6 +127,7 @@ class PairedEndConfig:
     rescue: bool = True
     rescue_edit_fraction: float = 0.15
     min_anchor_identity: float = 0.75
+    mate_prefetch: bool = True
 
     def __post_init__(self) -> None:
         if self.insert_mean <= 0:
@@ -292,6 +304,7 @@ class _Combo:
         # enumeration order.
         return (not self.proper, self.score,
                 self.rescued_mate is not None,
+                self.mate1.contig or "", self.mate2.contig or "",
                 self.mate1.linear_position or 0,
                 self.mate2.linear_position or 0,
                 0 if self.mate1.strand == "+" else 1)
@@ -320,6 +333,10 @@ def classify_pair(mate1: MappingResult, mate2: MappingResult,
 
     * ``one_mate_unmapped`` / ``both_unmapped`` — a mate (or both)
       produced no alignment at all;
+    * ``different_reference`` — both mates mapped but to different
+      contigs of a multi-contig reference (translocation evidence);
+      orientation and template length are meaningless across contigs,
+      so this is decided before either is measured;
     * ``wrong_orientation`` — both mates mapped but the geometry is
       not FR: same strand, or the reverse-strand mate is leftmost
       (everted / outward-facing pairs);
@@ -335,6 +352,8 @@ def classify_pair(mate1: MappingResult, mate2: MappingResult,
         return CATEGORY_BOTH_UNMAPPED
     if not (mate1.mapped and mate2.mapped):
         return CATEGORY_ONE_MATE_UNMAPPED
+    if mate1.contig != mate2.contig:
+        return CATEGORY_DIFFERENT_REFERENCE
     span1 = _linear_span(mate1)
     span2 = _linear_span(mate2)
     if span1 is None or span2 is None:
@@ -365,9 +384,27 @@ class PairedEndMapper:
         self.mapper = mapper
         self.config = config or PairedEndConfig()
         self.stats = PairStats()
-        # Rescue searches the linear reference; spell it once.
+        # Rescue searches the linear reference; spell it once.  With a
+        # multi-contig ReferenceSet the rescue window lives in the
+        # *anchor's* contig (see _rescue_reference), clamping rescue at
+        # contig boundaries for free.
         self._reference = mapper.built.backbone_sequence() \
             if mapper.built is not None else None
+
+    def _rescue_reference(self, anchor: MappingResult) -> str | None:
+        """The linear sequence to search for the anchor's mate.
+
+        Single-reference mappers use the (single) backbone; a
+        reference-set mapper uses the backbone of the contig the
+        anchor mapped to (None for graph-backed contigs — no linear
+        rescue there, exactly like graph-only mappers).
+        """
+        refs = self.mapper.refs
+        if refs is not None:
+            if anchor.contig is None:
+                return None
+            return refs.backbone(anchor.contig)
+        return self._reference
 
     # ------------------------------------------------------------------
     # Single pair
@@ -387,7 +424,20 @@ class PairedEndMapper:
         read2 = seqmod.validate(read2, "read 2", allow_ambiguous=True)
         pipeline = self.mapper.pipeline
         best1, _, _ = pipeline.map_read_candidates(read1, f"{name}/1")
+        if self.config.mate_prefetch and best1.mapped:
+            # Mate 1's mapping warmed its own node ranges; prefetch
+            # the span where mate 2's FR-consistent placement must
+            # lie, so its extractions hit too (the pair-aware cache
+            # contract: mates of one fragment extract near-identical
+            # regions an insert length apart).
+            self._prefetch_mate_window(best1)
+        pair_hits = pipeline.stats.cache_hits
+        pair_misses = pipeline.stats.cache_misses
         best2, _, _ = pipeline.map_read_candidates(read2, f"{name}/2")
+        pipeline.stats.pair_cache_hits += \
+            pipeline.stats.cache_hits - pair_hits
+        pipeline.stats.pair_cache_misses += \
+            pipeline.stats.cache_misses - pair_misses
 
         combos: list[_Combo] = []
         for c1 in self._candidate_results(best1):
@@ -428,6 +478,44 @@ class PairedEndMapper:
             self.stats.pairs_proper += 1
         return result
 
+    def _prefetch_mate_window(self, anchor: MappingResult) -> None:
+        """Warm the region cache over the anchor's mate window.
+
+        FR geometry places the mate inward of the anchor within the
+        maximum template length (the same window mate rescue
+        searches); the span is translated to global character space —
+        exactly for variant-free references, approximately otherwise
+        — and handed to
+        :meth:`~repro.core.pipeline.MappingPipeline.prefetch_span`.
+        Purely a cache warmer: results are unchanged with or without
+        it.
+        """
+        span = _linear_span(anchor)
+        if span is None:
+            return
+        start, end = span
+        max_template = self.config.max_template_length
+        # The mate window in the anchor's local coordinates, exactly
+        # as _rescue_mate frames it.
+        if anchor.strand == "+":
+            local_lo, local_hi = start, start + max_template
+        else:
+            local_lo, local_hi = end - max_template, end
+        refs = self.mapper.refs
+        if refs is not None:
+            if anchor.contig is None:
+                return
+            # char_hint clamps into the contig's character span, so
+            # the prefetch never reaches past a contig boundary.
+            lo = refs.char_hint(anchor.contig, local_lo)
+            hi = refs.char_hint(anchor.contig, local_hi) + 1
+        else:
+            total = self.mapper.graph.total_sequence_length
+            lo = max(0, local_lo)
+            hi = min(total, local_hi)
+        if lo < hi:
+            self.mapper.pipeline.prefetch_span(lo, hi)
+
     @staticmethod
     def _candidate_results(best: MappingResult) -> list[MappingResult]:
         """One :class:`MappingResult` per retained candidate locus.
@@ -452,12 +540,24 @@ class PairedEndMapper:
     def _score_combo(self, c1: MappingResult,
                      c2: MappingResult,
                      rescued_mate: int | None = None) -> _Combo | None:
-        """Score one orientation combination (None if unpaired)."""
+        """Score one orientation combination (None if unpaired).
+
+        The insert-size model only applies *within* one contig: a
+        cross-contig combination is never proper, its template length
+        is undefined (None), and it carries the full unpaired penalty
+        — it only wins when no intra-contig combination exists.
+        """
         span1 = _linear_span(c1)
         span2 = _linear_span(c2)
         if span1 is None or span2 is None:
             return None
         config = self.config
+        if c1.contig != c2.contig:
+            score = ((c1.distance or 0) + (c2.distance or 0)
+                     + config.unpaired_penalty)
+            return _Combo(mate1=c1, mate2=c2, proper=False,
+                          template_length=None, score=score,
+                          rescued_mate=rescued_mate)
         template = max(span1[1], span2[1]) - min(span1[0], span2[0])
         proper = False
         if c1.strand != c2.strand:
@@ -512,9 +612,11 @@ class PairedEndMapper:
         The rescued mate must sit on the opposite strand, inward of
         the anchor (FR geometry), within the maximum template length —
         one fitting alignment of the oriented mate over that reference
-        window, dispatched through the active alignment backend.
+        window, dispatched through the active alignment backend.  The
+        window is the *anchor's contig* (multi-contig mappers), so
+        rescue never crosses a contig boundary.
         """
-        reference = self._reference
+        reference = self._rescue_reference(anchor)
         if reference is None:
             return None
         self.stats.rescue_attempts += 1
@@ -551,6 +653,7 @@ class PairedEndMapper:
             distance=aligned.distance,
             cigar=aligned.cigar,
             linear_position=lo + aligned.start,
+            contig=anchor.contig,
             strand=strand,
         )
 

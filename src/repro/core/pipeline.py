@@ -18,11 +18,21 @@ per-unit utilization counters.
 Two throughput features ride on the stage boundary:
 
 * a **region cache** (:class:`RegionCache`) — an LRU memo of
-  ``extract_region`` + ``linearize`` keyed by
-  ``(region.start, region.end, hop_limit)``.  Extraction and
-  linearization are the hot path of the pure-Python mapper, and
-  duplicate reads / repeated loci re-derive identical spans; the cache
-  plays the role of BitAlign's input scratchpad.
+  ``extract_region`` + ``linearize`` keyed by the **node range**
+  ``(first_node, last_node, hop_limit)`` the span selects.
+  ``extract_region`` includes partially-overlapping nodes whole, so
+  every span selecting the same contiguous node range derives the
+  identical subgraph — node-range keys are exact (bit-for-bit the
+  same alignments) while also serving the *pair path*: the two mates
+  of a fragment land an insert length apart, usually inside the same
+  node range, so the second mate's extractions hit the entries the
+  first mate warmed.  Extraction and linearization are the hot path
+  of the pure-Python mapper; the cache plays the role of BitAlign's
+  input scratchpad.  The pair driver can additionally **prefetch**
+  the mate's expected insert-window span on a cache hit
+  (:meth:`MappingPipeline.prefetch_span`), and its share of the
+  traffic is reported separately (``pair_cache_hits`` /
+  ``pair_cache_misses`` in :class:`PipelineStats`).
 * a **batch engine** (:func:`map_batch_sharded`) — shards a read set
   across ``multiprocessing`` workers.  The index is built once in the
   parent and shared with the workers via ``fork`` (copy-on-write), so
@@ -40,6 +50,7 @@ import math
 import multiprocessing
 import time
 import warnings
+from bisect import bisect_right
 from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -106,6 +117,15 @@ class PipelineStats:
     regions_aligned: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Region-cache traffic attributable to the *pair path*: lookups
+    #: performed while mapping the second mate of a pair (a subset of
+    #: ``cache_hits``/``cache_misses``).  The pair driver accounts
+    #: these; single-end mapping leaves them at 0.
+    pair_cache_hits: int = 0
+    pair_cache_misses: int = 0
+    #: Regions extracted ahead of need by the mate-window prefetch
+    #: (not counted as misses — nothing looked them up yet).
+    cache_prefetches: int = 0
     windows: int = 0
     rescues: int = 0
     #: Alignment-backend name the pipeline ran with (a configuration
@@ -131,6 +151,12 @@ class PipelineStats:
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
 
+    @property
+    def pair_cache_hit_rate(self) -> float:
+        """Hit rate of the pair-path share of the cache traffic."""
+        total = self.pair_cache_hits + self.pair_cache_misses
+        return self.pair_cache_hits / total if total else 0.0
+
     def merge(self, other: "PipelineStats") -> None:
         # ``backend`` is a label: shards inherit the parent's pipeline
         # configuration, so keeping the receiver's value is exact.
@@ -141,6 +167,9 @@ class PipelineStats:
         self.regions_aligned += other.regions_aligned
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
+        self.pair_cache_hits += other.pair_cache_hits
+        self.pair_cache_misses += other.pair_cache_misses
+        self.cache_prefetches += other.cache_prefetches
         self.windows += other.windows
         self.rescues += other.rescues
         self.seeding.merge(other.seeding)
@@ -167,7 +196,13 @@ class PipelineStats:
             f"(hit rate {self.cache_hit_rate:.1%})",
             f"alignment work: {self.windows} windows, "
             f"{self.rescues} rescues (backend: {self.backend})",
-        ]
+        ] + ([
+            f"pair path: {self.pair_cache_hits} hits / "
+            f"{self.pair_cache_misses} misses "
+            f"(hit rate {self.pair_cache_hit_rate:.1%}), "
+            f"{self.cache_prefetches} regions prefetched",
+        ] if self.pair_cache_hits or self.pair_cache_misses
+            or self.cache_prefetches else [])
 
 
 @contextmanager
@@ -199,11 +234,15 @@ class CachedRegion:
 class RegionCache:
     """LRU memo for region extraction + linearization.
 
-    Keyed by ``(start, end, hop_limit)``.  ``capacity`` bounds the
-    number of retained regions (0 disables caching entirely — every
-    lookup misses and nothing is stored).  Hit/miss accounting lives
-    in :class:`PipelineStats` (the mergeable source of truth), not
-    here.
+    Keyed by the node range ``(first_node, last_node, hop_limit)``
+    that a span selects (see :meth:`MappingPipeline.node_range`):
+    ``extract_region`` includes partially-overlapping nodes whole, so
+    two spans selecting the same node range derive byte-identical
+    subgraphs — the pair-aware key that lets one mate's extractions
+    serve the other's.  ``capacity`` bounds the number of retained
+    regions (0 disables caching entirely — every lookup misses and
+    nothing is stored).  Hit/miss accounting lives in
+    :class:`PipelineStats` (the mergeable source of truth), not here.
     """
 
     def __init__(self, capacity: int = 128) -> None:
@@ -358,19 +397,12 @@ class ExtractStage:
         stats = pipe.stats.stage(self.name)
         for region in seeded.regions:
             start = time.perf_counter()
-            key = (region.start, region.end, pipe.config.hop_limit)
+            lo, hi = pipe.node_range(region.start, region.end)
+            key = (lo, hi, pipe.config.hop_limit)
             entry = pipe.cache.lookup(key)
             if entry is None:
                 pipe.stats.cache_misses += 1
-                subgraph, original_ids = pipe.graph.extract_region(
-                    region.start, region.end,
-                )
-                entry = CachedRegion(
-                    lin=linearize(subgraph,
-                                  hop_limit=pipe.config.hop_limit),
-                    original_ids=original_ids,
-                    offsets=subgraph.offsets(),
-                )
+                entry = pipe.build_region_entry(lo, hi)
                 pipe.cache.store(key, entry)
             else:
                 pipe.stats.cache_hits += 1
@@ -449,7 +481,7 @@ class AlignStage:
         """Materialize one aligned region as a candidate placement."""
         from repro.core.mapper import AlignmentCandidate
 
-        node_id = node_offset = linear_position = None
+        node_id = node_offset = linear_position = contig = None
         path_nodes: tuple[int, ...] = ()
         lin = region.lin
         if aligned.path:
@@ -463,7 +495,11 @@ class AlignStage:
                 if not nodes or nodes[-1] != node:
                     nodes.append(node)
             path_nodes = tuple(nodes)
-            if pipe.built is not None:
+            if pipe.refs is not None:
+                contig, linear_position = pipe.refs.project(
+                    node_id, node_offset,
+                )
+            elif pipe.built is not None:
                 linear_position = pipe.built.project_to_reference(
                     node_id, node_offset,
                 )
@@ -471,6 +507,7 @@ class AlignStage:
             distance=aligned.distance, cigar=aligned.cigar,
             strand=strand, node_id=node_id, node_offset=node_offset,
             path_nodes=path_nodes, linear_position=linear_position,
+            contig=contig,
             windows=aligned.windows, rescues=aligned.rescues,
         )
 
@@ -488,6 +525,8 @@ def _same_locus(a: "AlignmentCandidate", b: "AlignmentCandidate",
     decides.
     """
     if a.strand != b.strand:
+        return False
+    if a.contig != b.contig:
         return False
     if a.linear_position is not None and b.linear_position is not None:
         return abs(a.linear_position - b.linear_position) \
@@ -525,6 +564,7 @@ def commit_candidates(result: "MappingResult",
     result.node_offset = best.node_offset
     result.path_nodes = best.path_nodes
     result.linear_position = best.linear_position
+    result.contig = best.contig
     result.windows = best.windows
     result.rescues = best.rescues
     # From the full deduplicated list, not the truncated tuple: the
@@ -616,17 +656,79 @@ class MappingPipeline:
     """
 
     def __init__(self, graph, config, minseed, aligner,
-                 built=None) -> None:
+                 built=None, refs=None) -> None:
         self.graph = graph
         self.config = config
         self.minseed = minseed
         self.aligner = aligner
         self.built = built
+        self.refs = refs
         self.cache = RegionCache(config.region_cache_size)
+        # Node starts in the global character space, for the O(log n)
+        # span -> node-range cache-key computation.
+        self._node_starts = graph.offsets()
         self.stages = (SeedStage(), ChainFilterStage(), ExtractStage(),
                        AlignStage())
         self.select = SelectStage()
         self.reset_stats()
+
+    def node_range(self, start: int, end: int) -> tuple[int, int]:
+        """Inclusive node-ID range a character span selects.
+
+        Mirrors :meth:`~repro.graph.genome_graph.GenomeGraph.
+        extract_region`'s selection rule (nodes overlapping
+        ``[start, end)``, included whole), so the range identifies the
+        extraction result exactly — it is the region cache key.
+        """
+        lo = max(0, bisect_right(self._node_starts, start) - 1)
+        hi = max(lo, bisect_right(self._node_starts, end - 1) - 1)
+        return lo, hi
+
+    def build_region_entry(self, lo_node: int,
+                           hi_node: int) -> CachedRegion:
+        """Extract + linearize one node range (the cache-miss work).
+
+        The range is the cache key (:meth:`node_range`), so the
+        extraction is O(range) — no full-graph scan per miss.
+        """
+        subgraph, original_ids = self.graph.extract_node_range(
+            lo_node, hi_node)
+        return CachedRegion(
+            lin=linearize(subgraph, hop_limit=self.config.hop_limit),
+            original_ids=original_ids,
+            offsets=subgraph.offsets(),
+        )
+
+    def prefetch_span(self, start: int, end: int) -> None:
+        """Warm the region cache for every node range a small seed
+        region inside ``[start, end)`` could select.
+
+        The pair driver calls this with the mate's expected
+        insert-window span: a short-read seed region selects one node
+        or two adjacent nodes, so singleton ``(n, n)`` and adjacent
+        ``(n, n+1)`` ranges over the window cover the mate's future
+        lookups.  Prefetched extractions are counted in
+        ``cache_prefetches`` (not as misses — nothing looked them up
+        yet); a capacity-0 cache makes this a no-op.
+        """
+        if self.cache.capacity == 0:
+            return
+        total = self.graph.total_sequence_length
+        start = max(0, min(start, total - 1))
+        end = max(start + 1, min(end, total))
+        lo, hi = self.node_range(start, end)
+        hop = self.config.hop_limit
+        for node in range(lo, hi + 1):
+            ranges = [(node, node)]
+            if node < hi:
+                ranges.append((node, node + 1))
+            for lo_node, hi_node in ranges:
+                key = (lo_node, hi_node, hop)
+                if self.cache.lookup(key) is not None:
+                    continue
+                self.cache.store(key, self.build_region_entry(
+                    lo_node, hi_node))
+                self.stats.cache_prefetches += 1
 
     def reset_stats(self) -> None:
         self.stats = PipelineStats.empty()

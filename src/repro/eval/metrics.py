@@ -175,6 +175,8 @@ class PairedAccuracy:
         pairs_correct: pairs with *both* mates placed correctly.
         pairs_wrong_orientation: pairs classified wrong-orientation.
         pairs_tlen_outlier: pairs classified template-length outlier.
+        pairs_different_reference: pairs classified as mates on
+            different contigs (translocation evidence).
         pairs_unmapped_mate: pairs with one or both mates unmapped.
     """
 
@@ -185,6 +187,7 @@ class PairedAccuracy:
     pairs_correct: int
     pairs_wrong_orientation: int = 0
     pairs_tlen_outlier: int = 0
+    pairs_different_reference: int = 0
     pairs_unmapped_mate: int = 0
 
     @property
@@ -196,6 +199,7 @@ class PairedAccuracy:
     def discordant_pairs(self) -> int:
         return (self.pairs_wrong_orientation
                 + self.pairs_tlen_outlier
+                + self.pairs_different_reference
                 + self.pairs_unmapped_mate)
 
     @property
@@ -214,10 +218,13 @@ class PairedAccuracy:
 def _mate_correct(result: MappingResult,
                   truth: SimulatedLinearRead,
                   tolerance: int) -> bool:
-    return (result.mapped
-            and result.linear_position is not None
-            and abs(result.linear_position - truth.ref_start)
-            <= tolerance)
+    """Position within tolerance — and on the right contig when the
+    truth carries one (multi-contig simulations)."""
+    if not (result.mapped and result.linear_position is not None):
+        return False
+    if truth.contig is not None and result.contig != truth.contig:
+        return False
+    return abs(result.linear_position - truth.ref_start) <= tolerance
 
 
 def evaluate_paired_mappings(
@@ -235,6 +242,7 @@ def evaluate_paired_mappings(
     """
     from repro.core.pairing import (
         CATEGORY_BOTH_UNMAPPED,
+        CATEGORY_DIFFERENT_REFERENCE,
         CATEGORY_ONE_MATE_UNMAPPED,
         CATEGORY_TLEN_OUTLIER,
         CATEGORY_WRONG_ORIENTATION,
@@ -250,6 +258,7 @@ def evaluate_paired_mappings(
     pairs_correct = 0
     wrong_orientation = 0
     tlen_outlier = 0
+    different_reference = 0
     unmapped_mate = 0
     for pair, truth in zip(pairs, truths):
         if pair.proper:
@@ -258,6 +267,8 @@ def evaluate_paired_mappings(
             wrong_orientation += 1
         elif pair.category == CATEGORY_TLEN_OUTLIER:
             tlen_outlier += 1
+        elif pair.category == CATEGORY_DIFFERENT_REFERENCE:
+            different_reference += 1
         elif pair.category in (CATEGORY_ONE_MATE_UNMAPPED,
                                CATEGORY_BOTH_UNMAPPED):
             unmapped_mate += 1
@@ -277,5 +288,6 @@ def evaluate_paired_mappings(
         pairs_correct=pairs_correct,
         pairs_wrong_orientation=wrong_orientation,
         pairs_tlen_outlier=tlen_outlier,
+        pairs_different_reference=different_reference,
         pairs_unmapped_mate=unmapped_mate,
     )

@@ -349,8 +349,38 @@ class GenomeGraph:
             if offsets[n] < end_offset
             and offsets[n] + len(self._sequences[n]) > start_offset
         ]
+        return self._extract_selected(
+            selected, f"{self.name}[{start_offset}:{end_offset}]")
+
+    def extract_node_range(self, first: int,
+                           last: int) -> tuple["GenomeGraph", list[int]]:
+        """Extract the subgraph of the contiguous node-ID range
+        ``[first, last]`` (inclusive).
+
+        For a topologically sorted graph, node offsets are cumulative
+        in ID order, so the node set :meth:`extract_region` selects
+        for a span is exactly a contiguous ID range — this method
+        produces the identical subgraph in O(range) instead of the
+        span variant's O(node_count) scan.  Callers that already know
+        the range (e.g. the region cache, whose key *is* the range)
+        should use it.
+        """
+        if not 0 <= first <= last < self.node_count:
+            raise GraphError(
+                f"node range [{first}, {last}] outside "
+                f"[0, {self.node_count})"
+            )
+        return self._extract_selected(
+            list(range(first, last + 1)),
+            f"{self.name}[nodes {first}:{last + 1}]")
+
+    def _extract_selected(
+        self, selected: list[int],
+        name: str) -> tuple["GenomeGraph", list[int]]:
+        """Materialize a subgraph from selected node IDs (renumbered
+        densely, order preserved; edges leaving the set dropped)."""
         rank = {old: new for new, old in enumerate(selected)}
-        sub = GenomeGraph(name=f"{self.name}[{start_offset}:{end_offset}]")
+        sub = GenomeGraph(name=name)
         for old in selected:
             sub.add_node(self._sequences[old])
         for old in selected:

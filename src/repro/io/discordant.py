@@ -10,11 +10,15 @@ flags.
 
 Columns::
 
-    name  category  strand1  pos1  strand2  pos2  template_length  score
+    name  category  contig1  strand1  pos1  contig2  strand2  pos2 \
+    template_length  score
 
 Positions are 1-based (SAM convention) or ``.`` for unmapped mates;
-``template_length``/``score`` are ``.`` when unavailable.  The file
-round-trips through :func:`read_discordant_report`.
+contigs are ``.`` for unmapped mates and for single-reference mappers
+(whose results carry no contig name); ``template_length``/``score``
+are ``.`` when unavailable (including ``different_reference`` pairs,
+where the template length is undefined).  The file round-trips
+through :func:`read_discordant_report`.
 """
 
 from __future__ import annotations
@@ -29,8 +33,8 @@ if TYPE_CHECKING:  # avoid a circular import; only needed for hints
 PathOrHandle = Union[str, Path, TextIO]
 
 #: Column order of the report (also the header line).
-COLUMNS = ("name", "category", "strand1", "pos1", "strand2", "pos2",
-           "template_length", "score")
+COLUMNS = ("name", "category", "contig1", "strand1", "pos1",
+           "contig2", "strand2", "pos2", "template_length", "score")
 
 
 class DiscordantFormatError(ValueError):
@@ -42,7 +46,9 @@ class DiscordantRecord:
     """One discordant pair, as reported.
 
     ``pos1``/``pos2`` are 1-based leftmost mapping positions (None
-    for unmapped mates), mirroring the SAM records of the pair.
+    for unmapped mates), mirroring the SAM records of the pair;
+    ``contig1``/``contig2`` name the reference contig of each mate
+    (None for unmapped mates or single-reference mappers).
     """
 
     name: str
@@ -53,6 +59,8 @@ class DiscordantRecord:
     pos2: int | None
     template_length: int | None
     score: int | None
+    contig1: str | None = None
+    contig2: str | None = None
 
 
 def record_from_pair(pair: "PairResult") -> DiscordantRecord:
@@ -63,11 +71,16 @@ def record_from_pair(pair: "PairResult") -> DiscordantRecord:
             return None
         return mate.linear_position + 1
 
+    def contig(mate) -> str | None:
+        return mate.contig if mate.mapped else None
+
     return DiscordantRecord(
         name=pair.name,
         category=pair.category,
+        contig1=contig(pair.mate1),
         strand1=pair.mate1.strand if pair.mate1.mapped else ".",
         pos1=position(pair.mate1),
+        contig2=contig(pair.mate2),
         strand2=pair.mate2.strand if pair.mate2.mapped else ".",
         pos2=position(pair.mate2),
         template_length=pair.template_length,
@@ -94,8 +107,8 @@ def write_discordant_report(target: PathOrHandle,
                 "." if value is None else str(value)
                 for value in (
                     record.name, record.category,
-                    record.strand1, record.pos1,
-                    record.strand2, record.pos2,
+                    record.contig1, record.strand1, record.pos1,
+                    record.contig2, record.strand2, record.pos2,
                     record.template_length, record.score,
                 )) + "\n")
             written += 1
@@ -125,13 +138,18 @@ def read_discordant_report(source: PathOrHandle) \
             def parse_int(text: str) -> int | None:
                 return None if text == "." else int(text)
 
+            def parse_str(text: str) -> str | None:
+                return None if text == "." else text
+
             try:
                 records.append(DiscordantRecord(
                     name=fields[0], category=fields[1],
-                    strand1=fields[2], pos1=parse_int(fields[3]),
-                    strand2=fields[4], pos2=parse_int(fields[5]),
-                    template_length=parse_int(fields[6]),
-                    score=parse_int(fields[7]),
+                    contig1=parse_str(fields[2]),
+                    strand1=fields[3], pos1=parse_int(fields[4]),
+                    contig2=parse_str(fields[5]),
+                    strand2=fields[6], pos2=parse_int(fields[7]),
+                    template_length=parse_int(fields[8]),
+                    score=parse_int(fields[9]),
                 ))
             except ValueError as exc:
                 raise DiscordantFormatError(

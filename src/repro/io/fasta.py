@@ -164,8 +164,14 @@ def read_fastq(source: PathOrHandle) -> list[FastqRecord]:
     return list(iter_fastq(source))
 
 
-def _mate_base_name(name: str) -> str:
-    """Strip a trailing ``/1`` / ``/2`` mate suffix, if present."""
+def mate_base_name(name: str) -> str:
+    """Strip a trailing ``/1`` / ``/2`` mate suffix, if present.
+
+    The shared fragment-name normalization of the R1/R2 convention,
+    used by :func:`read_mate_pairs` and by
+    :meth:`repro.api.Mapper.map_pairs` to cross-check that parallel
+    mate lists actually pair related reads.
+    """
     if len(name) > 2 and name[-2] == "/" and name[-1] in "12":
         return name[:-2]
     return name
@@ -193,8 +199,8 @@ def read_mate_pairs(
         )
     pairs: list[tuple[str, str, str]] = []
     for (name1, seq1), (name2, seq2) in zip(reads1, reads2):
-        base1 = _mate_base_name(name1)
-        base2 = _mate_base_name(name2)
+        base1 = mate_base_name(name1)
+        base2 = mate_base_name(name2)
         if base1 != base2:
             raise FastaFormatError(
                 f"mate name mismatch: {name1!r} vs {name2!r}"

@@ -8,6 +8,16 @@ match counts, and the alignment's CIGAR in the ``cg:Z:`` tag.
 Only forward-orientation paths are produced (the mapper reverse-
 complements the read rather than walking edges backwards), matching
 the topologically-sorted-DAG model of the aligner.
+
+**Multi-contig references.**  Path segment names are the node IDs of
+the mapper's (combined) graph: with a
+:class:`~repro.refs.ReferenceSet` the IDs are globally unique across
+contigs (each contig owns a contiguous ID range and there are no
+inter-contig edges), so records written against the combined graph
+validate against it unchanged —
+:meth:`repro.refs.ReferenceSet.contig_of_node` recovers a path's
+contig.  Contig-qualified segment *names* for mixed GFA+FASTA sets
+are a ROADMAP follow-up.
 """
 
 from __future__ import annotations

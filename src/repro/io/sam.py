@@ -121,16 +121,21 @@ def _oriented_seq(result: "MappingResult", read: str) -> str:
 
 
 def result_to_sam(result: "MappingResult", read: str,
-                  reference_name: str, flag_extra: int = 0,
+                  reference_name: str | None = None,
+                  flag_extra: int = 0,
                   mapq: int | None = None,
                   pair_category: str | None = None) -> SamRecord:
     """Convert a mapping result to a SAM record.
 
-    ``result.linear_position`` must be present for mapped reads (the
-    mapper fills it when built from a linear reference); mapped results
-    without a projection raise, because SAM coordinates are linear.
-    MAPQ defaults to the calibrated ``result.mapq`` (best/second-best
-    gap); ``flag_extra``/``mapq``/``pair_category`` let the pair-aware
+    RNAME is the result's own contig when the mapper annotated one
+    (multi-contig :class:`~repro.refs.ReferenceSet` mappers do);
+    ``reference_name`` is the fallback for single-reference mappers,
+    whose results carry no contig.  ``result.linear_position`` must be
+    present for mapped reads (the mapper fills it when built from a
+    linear reference); mapped results without a projection raise,
+    because SAM coordinates are linear.  MAPQ defaults to the
+    calibrated ``result.mapq`` (best/second-best gap);
+    ``flag_extra``/``mapq``/``pair_category`` let the pair-aware
     writer add pair flag bits, override the per-mate MAPQ, and stamp
     the ``YC:Z:`` classification tag.
     """
@@ -146,13 +151,19 @@ def result_to_sam(result: "MappingResult", read: str,
             f"read {result.read_name!r}: mapped result has no linear "
             "projection; SAM output requires a reference-backed mapper"
         )
+    rname = result.contig or reference_name
+    if rname is None:
+        raise SamFormatError(
+            f"read {result.read_name!r}: no contig on the result and "
+            "no reference_name fallback given"
+        )
     flag = (FLAG_REVERSE if result.strand == "-" else 0) | flag_extra
     if mapq is None:
         mapq = result.mapq
     return SamRecord(
         qname=result.read_name,
         flag=flag,
-        rname=reference_name,
+        rname=rname,
         pos=result.linear_position + 1,
         mapq=mapq,
         cigar=str(result.cigar),
@@ -163,20 +174,24 @@ def result_to_sam(result: "MappingResult", read: str,
 
 
 def pair_to_sam(pair: "PairResult", read1: str, read2: str,
-                reference_name: str) -> tuple[SamRecord, SamRecord]:
+                reference_name: str | None = None
+                ) -> tuple[SamRecord, SamRecord]:
     """Convert one mapped pair into its two SAM records.
 
     Sets the pair FLAG bits (0x1 paired, 0x2 proper, 0x8/0x20 mate
     state, 0x40/0x80 mate index), fills RNEXT (``=`` when the mate
-    maps to the same reference), PNEXT, and the signed TLEN (positive
-    on the leftmost mate, negative on the rightmost, 0 unless both
-    mates mapped), and applies the pair-aware calibrated MAPQ
+    maps to the same reference contig, the mate's RNAME when the
+    mates map to *different* contigs), PNEXT, and the signed TLEN
+    (positive on the leftmost mate, negative on the rightmost; 0
+    unless both mates mapped to the same contig — TLEN is undefined
+    across references), and applies the pair-aware calibrated MAPQ
     (:meth:`~repro.core.mapper.MappingResult.mapq_with` with the
     proper-pair bonus).  Both records carry the pair's discordant
     classification in the ``YC:Z:`` tag.  Per the SAM spec's
     recommended practice, an unmapped mate whose partner is mapped is
-    co-located with it (RNAME/POS copied from the mapped mate, RNEXT
-    ``=``) so coordinate sorts keep the pair together.
+    co-located with it (RNAME/POS copied from the mapped mate — the
+    *mate's* contig, never a hard-coded single reference name — with
+    RNEXT ``=``) so coordinate sorts keep the pair together.
     """
     results = (pair.mate1, pair.mate2)
     reads = (read1, read2)
@@ -196,7 +211,13 @@ def pair_to_sam(pair: "PairResult", read1: str, read2: str,
                                      flag_extra=flag, mapq=mapq,
                                      pair_category=pair.category))
     rec1, rec2 = records
-    if pair.mate1.mapped and pair.mate2.mapped:
+    if pair.mate1.mapped and pair.mate2.mapped \
+            and rec1.rname != rec2.rname:
+        # Mates on different contigs: RNEXT names the mate's contig,
+        # and TLEN stays 0 (undefined across references per the spec).
+        rec1 = replace(rec1, rnext=rec2.rname, pnext=rec2.pos)
+        rec2 = replace(rec2, rnext=rec1.rname, pnext=rec1.pos)
+    elif pair.mate1.mapped and pair.mate2.mapped:
         positions = (rec1.pos, rec2.pos)
         ends = tuple(p + result.cigar.ref_consumed
                      for p, result in zip(positions, results))
@@ -222,15 +243,35 @@ def pair_to_sam(pair: "PairResult", read1: str, read2: str,
 def write_sam(
     target: PathOrHandle,
     records: Iterable[SamRecord],
-    reference_name: str,
-    reference_length: int,
+    reference_name: str | None = None,
+    reference_length: int | None = None,
+    contigs: "Iterable[tuple[str, int]] | None" = None,
 ) -> None:
-    """Write records with a minimal @HD/@SQ header."""
+    """Write records with a minimal @HD/@SQ header.
+
+    ``contigs`` is the multi-contig header: ``(name, length)`` pairs
+    emitted as one ``@SQ`` line each, in order (e.g.
+    :meth:`repro.refs.ReferenceSet.sam_contigs`).  The legacy
+    ``reference_name``/``reference_length`` pair is the single-contig
+    shorthand; exactly one of the two forms must be given.
+    """
+    if contigs is None:
+        if reference_name is None or reference_length is None:
+            raise ValueError(
+                "write_sam needs either contigs or "
+                "reference_name + reference_length"
+            )
+        contigs = [(reference_name, reference_length)]
+    elif reference_name is not None or reference_length is not None:
+        raise ValueError(
+            "write_sam takes contigs or reference_name/"
+            "reference_length, not both"
+        )
     handle, owned = _open_for_write(target)
     try:
         handle.write("@HD\tVN:1.6\tSO:unknown\n")
-        handle.write(f"@SQ\tSN:{reference_name}\t"
-                     f"LN:{reference_length}\n")
+        for name, length in contigs:
+            handle.write(f"@SQ\tSN:{name}\tLN:{length}\n")
         handle.write("@PG\tID:segram-repro\tPN:segram-repro\n")
         for record in records:
             fields = [
@@ -318,10 +359,13 @@ def validate_sam_pair(rec1: SamRecord, rec2: SamRecord) -> None:
 
     Both must carry the paired flag with complementary mate-index
     bits, the mate-state bits (0x8/0x20) must mirror the other record,
-    RNEXT/PNEXT must point at each other, the signed TLENs must
-    cancel, and the ``YC:Z:`` pair-category tags must agree with each
-    other and with the FLAG bits (proper <=> category "proper";
-    a mate-unmapped bit <=> an unmapped-mate category).
+    RNEXT/PNEXT must point at each other (``=`` for intra-contig
+    mates, the mate's RNAME for mates on different contigs — which
+    must also carry the ``different_reference`` category and TLEN 0),
+    the signed TLENs must cancel, and the ``YC:Z:`` pair-category
+    tags must agree with each other and with the FLAG bits
+    (proper <=> category "proper"; a mate-unmapped bit <=> an
+    unmapped-mate category).
     """
     for rec in (rec1, rec2):
         validate_sam_record(rec)
@@ -347,6 +391,18 @@ def validate_sam_pair(rec1: SamRecord, rec2: SamRecord) -> None:
                 f"{rec1.qname}: category {category!r} disagrees with "
                 f"the unmapped flags"
             )
+        both_mapped = not either_unmapped
+        cross_contig = both_mapped and rec1.rname != rec2.rname
+        if (category == "different_reference") != cross_contig:
+            raise SamFormatError(
+                f"{rec1.qname}: category {category!r} disagrees with "
+                f"the RNAMEs {rec1.rname!r}/{rec2.rname!r}"
+            )
+        if cross_contig and (rec1.tlen != 0 or rec2.tlen != 0):
+            raise SamFormatError(
+                f"{rec1.qname}: TLEN must be 0 for mates on "
+                "different references"
+            )
     if not (rec1.is_first_in_pair and rec2.is_second_in_pair):
         raise SamFormatError(
             f"{rec1.qname}: expected 0x40/0x80 mate-index flags, got "
@@ -368,7 +424,12 @@ def validate_sam_pair(rec1: SamRecord, rec2: SamRecord) -> None:
             raise SamFormatError(
                 f"{me.qname}: proper-pair flags disagree"
             )
-        if me.rnext == "=" and me.pnext != mate.pos:
+        if me.rnext not in ("=", "*") and me.rnext != mate.rname:
+            raise SamFormatError(
+                f"{me.qname}: RNEXT {me.rnext!r} != mate RNAME "
+                f"{mate.rname!r}"
+            )
+        if me.rnext != "*" and me.pnext != mate.pos:
             raise SamFormatError(
                 f"{me.qname}: PNEXT {me.pnext} != mate POS {mate.pos}"
             )

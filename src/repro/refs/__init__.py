@@ -1,0 +1,6 @@
+"""Multi-contig reference abstraction (:class:`Contig`,
+:class:`ReferenceSet`) — see :mod:`repro.refs.reference`."""
+
+from repro.refs.reference import Contig, ReferenceSetError, ReferenceSet
+
+__all__ = ["Contig", "ReferenceSetError", "ReferenceSet"]

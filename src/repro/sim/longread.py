@@ -21,9 +21,13 @@ class SimulatedLinearRead:
     Attributes:
         name: read identifier.
         sequence: the (noisy) read bases.
-        ref_start: true 0-based start on the source sequence.
+        ref_start: true 0-based start on the source sequence
+            (contig-local when ``contig`` is set).
         ref_end: true exclusive end on the source sequence.
         errors: number of error events the channel applied.
+        contig: name of the source contig for multi-contig truth
+            (None for single-reference simulations — the legacy
+            behaviour).
     """
 
     name: str
@@ -31,6 +35,7 @@ class SimulatedLinearRead:
     ref_start: int
     ref_end: int
     errors: int
+    contig: str | None = None
 
 
 @dataclass(frozen=True)

@@ -92,6 +92,15 @@ class SimulatedFragment:
     def fragment_end(self) -> int:
         return self.fragment_start + self.insert_size
 
+    @property
+    def inter_contig(self) -> bool:
+        """Whether the mates were drawn from *different* contigs
+        (a planted translocation — the ``different_reference``
+        discordant class's ground truth)."""
+        return (self.mate1.contig is not None
+                and self.mate2.contig is not None
+                and self.mate1.contig != self.mate2.contig)
+
 
 def simulate_fragments(
     reference: str,
@@ -100,6 +109,7 @@ def simulate_fragments(
     profile: PairedEndProfile | None = None,
     name_prefix: str = "frag",
     start_range: tuple[int, int] | None = None,
+    contig: str | None = None,
 ) -> list[SimulatedFragment]:
     """Draw ``count`` fragments from a reference.
 
@@ -110,6 +120,9 @@ def simulate_fragments(
     starting *inside one copy* of a planted repeat so that one mate
     is repeat-ambiguous while the other anchors in unique flank
     (the MAPQ-calibration and repeat-tie pairing ground truth).
+    ``contig`` stamps multi-contig ground truth on both mates
+    (``reference`` is then that contig's sequence, and positions stay
+    contig-local).
     """
     if count < 0:
         raise ValueError("count must be >= 0")
@@ -133,12 +146,13 @@ def simulate_fragments(
         mate1 = _sequence_mate(
             fragment[:read_length], profile.model, rng,
             name=f"{name_prefix}_{index}/1",
-            ref_start=start, reverse=False,
+            ref_start=start, reverse=False, contig=contig,
         )
         mate2 = _sequence_mate(
             fragment[-read_length:], profile.model, rng,
             name=f"{name_prefix}_{index}/2",
             ref_start=start + insert - read_length, reverse=True,
+            contig=contig,
         )
         fragments.append(SimulatedFragment(
             name=f"{name_prefix}_{index}",
@@ -150,7 +164,8 @@ def simulate_fragments(
 
 def _sequence_mate(template: str, model: ErrorModel,
                    rng: random.Random, name: str, ref_start: int,
-                   reverse: bool) -> SimulatedLinearRead:
+                   reverse: bool,
+                   contig: str | None = None) -> SimulatedLinearRead:
     """Sequence one mate: orient, then run the error channel."""
     oriented = seqmod.reverse_complement(template) if reverse \
         else template
@@ -163,4 +178,71 @@ def _sequence_mate(template: str, model: ErrorModel,
         ref_start=ref_start,
         ref_end=ref_start + len(template),
         errors=errors,
+        contig=contig,
     )
+
+
+def simulate_multi_contig_fragments(
+    contigs: "list[tuple[str, str]]",
+    count: int,
+    rng: random.Random,
+    profile: PairedEndProfile | None = None,
+    inter_pairs: int = 0,
+    name_prefix: str = "frag",
+) -> list[SimulatedFragment]:
+    """Draw fragments from a multi-contig reference.
+
+    ``count`` intra-contig fragments are distributed over the
+    ``(name, sequence)`` contigs proportionally to contig length
+    (longer contigs receive more fragments, like real libraries);
+    every mate carries its contig in the ground truth.  On top,
+    ``inter_pairs`` *inter-contig* pairs are planted — mate 1 drawn
+    forward from one contig, mate 2 reverse from a different one —
+    the ground truth for the ``different_reference`` discordant
+    class (translocation evidence).  Inter-contig "fragments" record
+    ``insert_size`` 0 (the template length is undefined across
+    contigs) and answer True to ``inter_contig``.
+    """
+    if not contigs:
+        raise ValueError("contigs must not be empty")
+    if inter_pairs > 0 and len(contigs) < 2:
+        raise ValueError("inter-contig pairs need >= 2 contigs")
+    profile = profile or PairedEndProfile()
+    total = sum(len(sequence) for _, sequence in contigs)
+    fragments: list[SimulatedFragment] = []
+    remaining = count
+    for index, (name, sequence) in enumerate(contigs):
+        share = remaining if index == len(contigs) - 1 else \
+            round(count * len(sequence) / total)
+        share = min(share, remaining)
+        fragments.extend(simulate_fragments(
+            sequence, share, rng, profile,
+            name_prefix=f"{name_prefix}_{name}", contig=name,
+        ))
+        remaining -= share
+    read_length = profile.read_length
+    for index in range(inter_pairs):
+        name1, seq1 = contigs[rng.randrange(len(contigs))]
+        name2, seq2 = name1, ""
+        while name2 == name1:
+            name2, seq2 = contigs[rng.randrange(len(contigs))]
+        prefix = f"{name_prefix}_inter_{index}"
+        length1 = min(read_length, len(seq1))
+        length2 = min(read_length, len(seq2))
+        start1 = rng.randint(0, len(seq1) - length1)
+        start2 = rng.randint(0, len(seq2) - length2)
+        mate1 = _sequence_mate(
+            seq1[start1:start1 + length1], profile.model, rng,
+            name=f"{prefix}/1", ref_start=start1, reverse=False,
+            contig=name1,
+        )
+        mate2 = _sequence_mate(
+            seq2[start2:start2 + length2], profile.model, rng,
+            name=f"{prefix}/2", ref_start=start2, reverse=True,
+            contig=name2,
+        )
+        fragments.append(SimulatedFragment(
+            name=prefix, mate1=mate1, mate2=mate2,
+            insert_size=0, fragment_start=start1,
+        ))
+    return fragments

@@ -21,6 +21,28 @@ def random_reference(length: int, rng: random.Random) -> str:
     return seqmod.random_sequence(length, rng)
 
 
+def multi_contig_reference(
+    lengths: "list[int] | tuple[int, ...]",
+    rng: random.Random,
+    name_prefix: str = "chr",
+) -> list[tuple[str, str]]:
+    """Independent random contigs: ``[(name, sequence), ...]``.
+
+    One contig per entry of ``lengths``, named ``chr1``, ``chr2``,
+    ... — the multi-contig stand-in workload (a real genome is many
+    chromosomes, not one sequence).  Feed the result to
+    :meth:`repro.refs.ReferenceSet.from_records` or
+    :class:`repro.api.Mapper`, and to
+    :func:`repro.sim.pairedend.simulate_multi_contig_fragments` for
+    paired ground truth.
+    """
+    if not lengths:
+        raise ValueError("lengths must not be empty")
+    return [(f"{name_prefix}{index + 1}",
+             random_reference(length, rng))
+            for index, length in enumerate(lengths)]
+
+
 def reference_with_exact_repeats(
     length: int,
     rng: random.Random,

@@ -1,0 +1,150 @@
+"""Tests for the CI benchmark regression gate
+(benchmarks/check_bench_regression.py): per-runner calibration
+normalization, clamping, and exit codes.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "check_bench_regression",
+    Path(__file__).parent.parent / "benchmarks"
+    / "check_bench_regression.py",
+)
+gate = importlib.util.module_from_spec(_SPEC)
+sys.modules.setdefault("check_bench_regression", gate)
+_SPEC.loader.exec_module(gate)
+
+
+def _write_report(path: Path, means: dict[str, float]) -> Path:
+    report = {"benchmarks": [
+        {"fullname": name, "stats": {"mean": mean}}
+        for name, mean in means.items()
+    ]}
+    path.write_text(json.dumps(report), encoding="ascii")
+    return path
+
+
+def _write_baseline(path: Path, means: dict[str, float],
+                    max_slowdown: float = 1.5,
+                    calibration: float | None = 0.1) -> Path:
+    baseline: dict = {"max_slowdown": max_slowdown,
+                      "benchmarks": means}
+    if calibration is not None:
+        baseline["calibration"] = calibration
+    path.write_text(json.dumps(baseline), encoding="ascii")
+    return path
+
+
+class TestCalibrationFactor:
+    def test_identity_without_measurements(self):
+        assert gate.calibration_factor(None, 0.1) == 1.0
+        assert gate.calibration_factor(0.1, None) == 1.0
+
+    def test_ratio(self):
+        assert gate.calibration_factor(0.1, 0.2) == pytest.approx(2.0)
+        assert gate.calibration_factor(0.2, 0.1) == pytest.approx(0.5)
+
+    def test_clamped(self):
+        lo, hi = gate.CALIBRATION_CLAMP
+        assert gate.calibration_factor(0.1, 10.0) == hi
+        assert gate.calibration_factor(10.0, 0.1) == lo
+
+
+class TestMeasureCalibration:
+    def test_positive_and_repeatable_order_of_magnitude(self):
+        first = gate.measure_calibration(repeats=1)
+        second = gate.measure_calibration(repeats=1)
+        assert first > 0 and second > 0
+        assert 0.2 < first / second < 5.0
+
+
+class TestCheck:
+    NAME = "benchmarks/bench_x.py::test_y"
+
+    def test_passes_within_tolerance(self, tmp_path, capsys):
+        report = _write_report(tmp_path / "r.json",
+                               {self.NAME: 1.4})
+        baseline = _write_baseline(tmp_path / "b.json",
+                                   {self.NAME: 1.0})
+        code = gate.check(report, baseline, None,
+                          runner_calibration=0.1)
+        assert code == 0
+        assert "1.40x" in capsys.readouterr().out
+
+    def test_fails_beyond_tolerance(self, tmp_path, capsys):
+        report = _write_report(tmp_path / "r.json",
+                               {self.NAME: 1.6})
+        baseline = _write_baseline(tmp_path / "b.json",
+                                   {self.NAME: 1.0})
+        code = gate.check(report, baseline, None,
+                          runner_calibration=0.1)
+        assert code == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_slow_runner_normalized_to_pass(self, tmp_path, capsys):
+        """A 2x-slower runner (kernel 0.2 vs 0.1) with 2x-slower
+        benches is machine speed, not a regression."""
+        report = _write_report(tmp_path / "r.json",
+                               {self.NAME: 2.0})
+        baseline = _write_baseline(tmp_path / "b.json",
+                                   {self.NAME: 1.0})
+        code = gate.check(report, baseline, None,
+                          runner_calibration=0.2)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "normalizing by 2.00x" in out
+
+    def test_regression_on_slow_runner_still_fails(self, tmp_path):
+        report = _write_report(tmp_path / "r.json",
+                               {self.NAME: 3.5})
+        baseline = _write_baseline(tmp_path / "b.json",
+                                   {self.NAME: 1.0})
+        assert gate.check(report, baseline, None,
+                          runner_calibration=0.2) == 1
+
+    def test_no_calibration_flag_compares_raw(self, tmp_path):
+        report = _write_report(tmp_path / "r.json",
+                               {self.NAME: 2.0})
+        baseline = _write_baseline(tmp_path / "b.json",
+                                   {self.NAME: 1.0})
+        assert gate.check(report, baseline, None,
+                          calibrate=False) == 1
+
+    def test_new_and_missing_benchmarks_not_gated(self, tmp_path,
+                                                  capsys):
+        report = _write_report(tmp_path / "r.json",
+                               {"new::bench": 9.9})
+        baseline = _write_baseline(tmp_path / "b.json",
+                                   {"old::bench": 1.0})
+        code = gate.check(report, baseline, None,
+                          runner_calibration=0.1)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "NEW" in out and "MISSING" in out
+
+    def test_update_baseline_records_calibration(self, tmp_path,
+                                                 monkeypatch):
+        report = _write_report(tmp_path / "r.json",
+                               {self.NAME: 1.23456})
+        baseline = _write_baseline(tmp_path / "b.json",
+                                   {self.NAME: 9.0})
+        monkeypatch.setattr(gate, "measure_calibration",
+                            lambda repeats=3: 0.0777)
+        assert gate.update_baseline(report, baseline) == 0
+        refreshed = json.loads(baseline.read_text())
+        assert refreshed["benchmarks"][self.NAME] == 1.235
+        assert refreshed["calibration"] == 0.0777
+
+    def test_checked_in_baseline_declares_tight_gate(self):
+        baseline = json.loads(
+            (Path(__file__).parent.parent / "benchmarks"
+             / "baseline.json").read_text())
+        assert baseline["max_slowdown"] == 1.5
+        assert baseline["calibration"] > 0

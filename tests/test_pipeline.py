@@ -141,12 +141,56 @@ class TestRegionCache:
         mapper = _fresh_mapper(reference)
         read = reference[6_000:6_400]
         first = mapper.map_read(read, "dup")
-        assert mapper.pipeline.stats.cache_hits == 0
-        second = mapper.map_read(read, "dup")
         stats = mapper.pipeline.stats
-        assert stats.cache_hits > 0
+        # Node-range keys: even one read's overlapping seed regions
+        # share entries, so the first pass may already hit.
+        hits_after_first = stats.cache_hits
+        misses_after_first = stats.cache_misses
+        assert misses_after_first > 0
+        second = mapper.map_read(read, "dup")
+        # The duplicate read re-derives only warm node ranges.
+        assert stats.cache_hits > hits_after_first
+        assert stats.cache_misses == misses_after_first
         assert stats.cache_hit_rate > 0.0
         assert _result_key(first) == _result_key(second)
+
+    def test_extract_node_range_matches_extract_region(self, workload):
+        """The O(range) miss path derives the identical subgraph to
+        the span-scan extraction for the range the key names."""
+        reference, _ = workload
+        mapper = _fresh_mapper(reference)
+        graph = mapper.graph
+        rng = random.Random(5)
+        total = graph.total_sequence_length
+        for _ in range(25):
+            start = rng.randrange(0, total - 2)
+            end = rng.randrange(start + 1,
+                                min(total, start + 9_000) + 1)
+            lo, hi = mapper.pipeline.node_range(start, end)
+            by_span, ids_span = graph.extract_region(start, end)
+            by_range, ids_range = graph.extract_node_range(lo, hi)
+            assert ids_span == ids_range
+            assert [by_span.sequence_of(n)
+                    for n in range(by_span.node_count)] == \
+                [by_range.sequence_of(n)
+                 for n in range(by_range.node_count)]
+            assert sorted(by_span.edges()) == sorted(by_range.edges())
+
+    def test_node_range_key_shares_entries_across_spans(self, workload):
+        """Two different spans selecting the same nodes share one
+        cache entry (the pair-aware key: a mate an insert-length away
+        usually lands in the same node range)."""
+        reference, _ = workload
+        mapper = _fresh_mapper(reference)
+        pipe = mapper.pipeline
+        lo, hi = pipe.node_range(6_000, 6_400)
+        assert (lo, hi) == pipe.node_range(6_010, 6_390)
+        mapper.map_read(reference[6_000:6_400], "left")
+        misses = pipe.stats.cache_misses
+        # A nearby (mate-like) read within the same nodes: all hits.
+        mapper.map_read(reference[6_050:6_450], "right")
+        assert pipe.stats.cache_misses == misses
+        assert pipe.stats.cache_hits > 0
 
     def test_cache_disabled(self, workload):
         reference, _ = workload
