@@ -134,3 +134,86 @@ def test_backend_shootout(benchmark, show):
                 f"numpy backend must be >= {SPEEDUP_FLOOR}x at pattern "
                 f"length {row['pattern']}, measured {row['speedup']}x"
             )
+
+
+# ----------------------------------------------------------------------
+# Batched align_many vs per-call loop (the ISSUE 6 tentpole gate)
+# ----------------------------------------------------------------------
+
+#: Candidate-window workload shape: one mapping round's worth of
+#: windows (both orientations x top-N regions), window-sized texts.
+BATCH_JOBS = 64
+BATCH_K = 12
+BATCH_REPEATS = 5
+
+#: Acceptance bar: one batched kernel call over the whole batch must
+#: beat the per-call numpy loop by at least this factor.
+BATCH_SPEEDUP_FLOOR = 3.0
+
+
+def _batch_workload(rng: random.Random) -> list[tuple[str, str]]:
+    """Rescue-window-shaped (text, pattern) jobs mimicking the pair
+    engine's mate-rescue grid: a mutated pattern copy somewhere in an
+    insert-sized window, mixed lengths inside one packed-width
+    bucket."""
+    jobs = []
+    for _ in range(BATCH_JOBS):
+        m = rng.randrange(90, 129)
+        pattern = "".join(rng.choice("ACGT") for _ in range(m))
+        mutated = []
+        for char in pattern:
+            roll = rng.random()
+            if roll < 0.03:
+                mutated.append(rng.choice("ACGT"))
+            elif roll < 0.045:
+                continue
+            else:
+                mutated.append(char)
+        flank_left = rng.randrange(80, 200)
+        flank_right = rng.randrange(80, 200)
+        text = ("".join(rng.choice("ACGT") for _ in range(flank_left))
+                + "".join(mutated)
+                + "".join(rng.choice("ACGT")
+                          for _ in range(flank_right)))
+        jobs.append((text, pattern))
+    return jobs
+
+
+def batched_rows():
+    numpy = get_backend("numpy")
+    jobs = _batch_workload(random.Random(0xBA7C))
+    loop_seconds, loop_results = _time(
+        lambda: [numpy.align(text, pattern, BATCH_K)
+                 for text, pattern in jobs], BATCH_REPEATS)
+    many_seconds, many_results = _time(
+        lambda: numpy.align_many(jobs, BATCH_K), BATCH_REPEATS)
+    # Bit-for-bit cross-check before trusting the timing.
+    assert len(many_results) == len(loop_results) == BATCH_JOBS
+    for slow, fast in zip(loop_results, many_results):
+        assert (slow is None) == (fast is None)
+        if slow is not None:
+            assert (slow.distance, slow.start, slow.cigar) == \
+                (fast.distance, fast.start, fast.cigar)
+    aligned = sum(1 for r in many_results if r is not None)
+    speedup = loop_seconds / many_seconds
+    return [{
+        "jobs": BATCH_JOBS,
+        "k": BATCH_K,
+        "aligned": aligned,
+        "per_call_ms": round(loop_seconds * 1e3, 2),
+        "batched_ms": round(many_seconds * 1e3, 2),
+        "speedup": round(speedup, 2),
+    }]
+
+
+def test_batched_align_many(benchmark, show):
+    rows = benchmark.pedantic(batched_rows, rounds=1, iterations=1)
+    show(rows, "batched align_many — one kernel call vs per-call "
+               "numpy loop")
+    row = rows[0]
+    # The batch must be real work, not a fleet of early-outs.
+    assert row["aligned"] >= BATCH_JOBS - 4, row
+    assert row["speedup"] >= BATCH_SPEEDUP_FLOOR, (
+        f"batched align_many must be >= {BATCH_SPEEDUP_FLOOR}x over "
+        f"the per-call loop, measured {row['speedup']}x"
+    )

@@ -127,6 +127,10 @@ def paired_end_rows():
                 "rescue_attempts": engine.stats.rescue_attempts,
                 "rescue_hits": engine.stats.rescue_hits,
                 "discordant": engine.stats.pairs_discordant,
+                "kernel_calls": mapper.stats.align_calls
+                + engine.stats.align_calls,
+                "win_batched": mapper.stats.align_windows_batched
+                + engine.stats.align_windows_batched,
             })
     return rows
 
@@ -164,6 +168,10 @@ def repeat_tie_rows():
             "rescue_alignments": engine.stats.rescue_attempts,
             "tlen_outliers": engine.stats.discordant.get(
                 "tlen_outlier", 0),
+            "kernel_calls": mapper.stats.align_calls
+            + engine.stats.align_calls,
+            "win_batched": mapper.stats.align_windows_batched
+            + engine.stats.align_windows_batched,
         })
     return rows
 

@@ -16,6 +16,19 @@ identical CIGARs from ``align`` — which the randomized parity harness
 in ``tests/test_align_backends.py`` enforces against independent
 oracles (:mod:`repro.align.bitap`, :mod:`repro.align.dp_linear`).
 
+Backends may additionally batch many problems per kernel dispatch::
+
+    backend.align_many(jobs, k)        -> [BackendAlignment | None]
+
+``align_many`` is contractually a plain loop over ``align`` — the
+base class implements exactly that, so the python backend and
+third-party backends keep working unchanged — but a backend may
+override it to amortize per-call overhead across the batch, as the
+numpy backend does with the cross-problem wavefront kernel of
+:mod:`repro.align.bitalign_batched` (scheduled by its
+:class:`~repro.align.bitalign_batched.BatchCostModel` oracle).
+Results must stay bit-for-bit identical to the loop.
+
 Two backends ship by default:
 
 * ``"python"`` — the existing pure-Python BitAlign machinery
@@ -42,6 +55,11 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass
 
+from repro.align.bitalign_batched import (
+    BatchCostModel,
+    batched_chain_rows,
+    batched_generate,
+)
 from repro.align.bitalign_packed import (
     DEFAULT_MAX_WORDS,
     PackedChainRows,
@@ -111,6 +129,20 @@ class AlignmentBackend:
         """
         raise NotImplementedError
 
+    def align_many(self, jobs: "list[tuple[str, str]]", k: int,
+                   max_words: int = DEFAULT_MAX_WORDS,
+                   ) -> "list[BackendAlignment | None]":
+        """Align a batch of ``(text, pattern)`` jobs.
+
+        Semantically ``[self.align(t, p, k) for t, p in jobs]`` — the
+        base class is exactly that loop, and any override must return
+        bit-for-bit identical results (the batched parity harness in
+        ``tests/test_align_backends.py`` enforces it).  ``max_words``
+        is a *per-job* traceback budget, as in :meth:`align`.
+        """
+        return [self.align(text, pattern, k, max_words=max_words)
+                for text, pattern in jobs]
+
     def chain_bitvectors(self, chars: str, pattern: str, k: int):
         """Optional packed ``all_r`` rows for a chain graph window.
 
@@ -120,6 +152,17 @@ class AlignmentBackend:
         recurrence.  The base implementation opts out.
         """
         return None
+
+    def chain_bitvectors_many(self, jobs: "list[tuple[str, str]]",
+                              k: int) -> list:
+        """Batch form of :meth:`chain_bitvectors`, one entry per job.
+
+        Semantically a loop over :meth:`chain_bitvectors` (the base
+        implementation), with None marking jobs the backend declines;
+        overrides may serve several jobs from one kernel dispatch.
+        """
+        return [self.chain_bitvectors(chars, pattern, k)
+                for chars, pattern in jobs]
 
 
 def _check_inputs(pattern: str, k: int) -> None:
@@ -236,21 +279,33 @@ class NumpyBackend(AlignmentBackend):
     CHAIN_KERNEL_MIN_BITS = 512
 
     def __init__(self,
-                 chain_kernel_min_bits: int | None = None) -> None:
+                 chain_kernel_min_bits: int | None = None,
+                 cost_model: BatchCostModel | None = None) -> None:
         if chain_kernel_min_bits is not None:
             self.chain_kernel_min_bits = chain_kernel_min_bits
         else:
             self.chain_kernel_min_bits = self.CHAIN_KERNEL_MIN_BITS
+        # Constructed lazily: the default model reads its slope off
+        # repro.hw, which itself imports the core pipeline.
+        self._cost_model_instance = cost_model
+
+    @property
+    def _cost_model(self) -> BatchCostModel:
+        if self._cost_model_instance is None:
+            self._cost_model_instance = BatchCostModel()
+        return self._cost_model_instance
 
     def distance(self, text: str, pattern: str,
                  k: int) -> tuple[int, int] | None:
         _check_inputs(pattern, k)
         return packed_distance(text, pattern, k)
 
-    def align(self, text: str, pattern: str, k: int,
-              max_words: int = DEFAULT_MAX_WORDS) -> BackendAlignment | None:
-        _check_inputs(pattern, k)
-        rows = packed_generate(text, pattern, k, max_words=max_words)
+    @staticmethod
+    def _finish(rows, text: str,
+                pattern: str) -> BackendAlignment | None:
+        """Shared ``align`` tail: locate the best accept in ``rows``
+        and trace it back.  Both the per-call and the batched path end
+        here, so their tie-breaks and CIGARs agree by construction."""
         located = rows.best()
         if located is None:
             return None
@@ -269,6 +324,44 @@ class NumpyBackend(AlignmentBackend):
                                 cigar=result.cigar,
                                 start=result.text_start)
 
+    def align(self, text: str, pattern: str, k: int,
+              max_words: int = DEFAULT_MAX_WORDS) -> BackendAlignment | None:
+        _check_inputs(pattern, k)
+        rows = packed_generate(text, pattern, k, max_words=max_words)
+        return self._finish(rows, text, pattern)
+
+    def align_many(self, jobs: "list[tuple[str, str]]", k: int,
+                   max_words: int = DEFAULT_MAX_WORDS,
+                   ) -> "list[BackendAlignment | None]":
+        """Batched ``align``: one wavefront sweep per word bucket.
+
+        The :class:`~repro.align.bitalign_batched.BatchCostModel`
+        oracle decides which jobs share a batched sweep and which run
+        through the per-call kernel; either way every job ends in the
+        shared :meth:`_finish` tail, so results are bit-for-bit those
+        of the base-class loop.
+        """
+        for _, pattern in jobs:
+            _check_inputs(pattern, k)
+        for text, pattern in jobs:
+            _budget_check(text, pattern, k, max_words)
+        results: "list[BackendAlignment | None]" = [None] * len(jobs)
+        shapes = [(len(text), len(pattern)) for text, pattern in jobs]
+        for kind, indices in self._cost_model.plan(shapes, k):
+            if kind == "batched":
+                group = [jobs[j] for j in indices]
+                rows_list = batched_generate(group, k,
+                                             max_words=max_words)
+                for j, rows in zip(indices, rows_list):
+                    text, pattern = jobs[j]
+                    results[j] = self._finish(rows, text, pattern)
+            else:
+                for j in indices:
+                    text, pattern = jobs[j]
+                    results[j] = self.align(text, pattern, k,
+                                            max_words=max_words)
+        return results
+
     def chain_bitvectors(self, chars: str, pattern: str,
                          k: int) -> "PackedChainRows | None":
         """Packed rows for a chain window, or None to fall back.
@@ -285,6 +378,43 @@ class NumpyBackend(AlignmentBackend):
             return packed_chain_rows(chars, pattern, k)
         except AlignmentSizeError:
             return None
+
+    def chain_bitvectors_many(self, jobs: "list[tuple[str, str]]",
+                              k: int) -> list:
+        """Batched chain rows for many windows of one dispatch round.
+
+        Jobs the :class:`~repro.align.bitalign_batched.BatchCostModel`
+        oracle groups into a batch are served from one cross-problem
+        sweep — here the per-call crossover width is irrelevant, since
+        batching amortizes exactly the dispatch overhead that the
+        ``chain_kernel_min_bits`` gate exists to dodge.  Scalar-planned
+        jobs go through :meth:`chain_bitvectors` (gate and all), and
+        jobs past the word budget decline with None; every fallback is
+        bit-for-bit identical, just slower.
+        """
+        results: list = [None] * len(jobs)
+        shapes = []
+        keep = []
+        for index, (chars, pattern) in enumerate(jobs):
+            if align_storage_words(len(chars), len(pattern),
+                                   k) > DEFAULT_MAX_WORDS:
+                continue
+            keep.append(index)
+            shapes.append((len(chars), len(pattern)))
+        for kind, local in self._cost_model.plan(shapes, k):
+            if kind == "batched":
+                indices = [keep[j] for j in local]
+                rows_list = batched_chain_rows(
+                    [jobs[j] for j in indices], k)
+                for j, rows in zip(indices, rows_list):
+                    results[j] = rows
+            else:
+                for j in local:
+                    index = keep[j]
+                    chars, pattern = jobs[index]
+                    results[index] = self.chain_bitvectors(
+                        chars, pattern, k)
+        return results
 
 
 # ----------------------------------------------------------------------

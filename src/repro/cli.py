@@ -204,6 +204,16 @@ def cmd_map(args: argparse.Namespace) -> int:
         raise SystemExit("error: --top-n must be >= 1")
     if args.discordant_out is not None and args.paired is None:
         raise SystemExit("error: --discordant-out requires --paired")
+    if args.align_backend is None:
+        # --align-backend is validated by argparse choices; the env
+        # fallback must be validated just as eagerly, or a bogus
+        # $REPRO_ALIGN_BACKEND only explodes deep in the first align.
+        from repro.align.backends import default_backend_name
+
+        try:
+            default_backend_name()
+        except ValueError as exc:
+            raise SystemExit(f"error: {exc}") from None
     ref_records = read_fasta(args.reference)
     if not ref_records:
         raise SystemExit(f"error: no FASTA records in "

@@ -109,6 +109,17 @@ class SeGraMConfig:
                 f"top_n_alignments must be >= 1, "
                 f"got {self.top_n_alignments}"
             )
+        if self.align_backend is not None:
+            # Validate eagerly: an unknown name used to surface as a
+            # late KeyError deep inside the first align call.
+            from repro.align.backends import list_backends
+
+            if self.align_backend not in list_backends():
+                known = ", ".join(list_backends()) or "(none)"
+                raise ValueError(
+                    f"unknown alignment backend "
+                    f"{self.align_backend!r}; registered: {known}"
+                )
 
 
 @dataclass(frozen=True)

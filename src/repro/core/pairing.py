@@ -191,6 +191,12 @@ class PairStats:
     rescue_attempts: int = 0
     rescue_hits: int = 0
     pairs_unplaced: int = 0
+    #: Backend dispatches issued for mate-rescue alignments (rescue
+    #: windows sharing one ``align_many`` call count once).
+    align_calls: int = 0
+    #: Rescue windows that shared a dispatch with at least one other
+    #: window — the measurable effect of batching the rescue path.
+    align_windows_batched: int = 0
     discordant: dict = field(default_factory=dict)
 
     @property
@@ -220,6 +226,8 @@ class PairStats:
         self.rescue_attempts += other.rescue_attempts
         self.rescue_hits += other.rescue_hits
         self.pairs_unplaced += other.pairs_unplaced
+        self.align_calls += other.align_calls
+        self.align_windows_batched += other.align_windows_batched
         for category, count in other.discordant.items():
             self.discordant[category] = \
                 self.discordant.get(category, 0) + count
@@ -240,7 +248,9 @@ class PairStats:
             f"discordant: {self.pairs_discordant} ({breakdown})",
             f"mate rescue: {self.rescue_hits} hits / "
             f"{self.rescue_attempts} attempts "
-            f"(hit rate {self.rescue_hit_rate:.1%})",
+            f"(hit rate {self.rescue_hit_rate:.1%}), "
+            f"{self.align_calls} kernel dispatches "
+            f"({self.align_windows_batched} windows batched)",
         ]
 
 
@@ -580,16 +590,33 @@ class PairedEndMapper:
     def _rescue_combos(self, best1: MappingResult,
                        best2: MappingResult, read1: str,
                        read2: str) -> list[_Combo]:
-        """Try to rescue each mate near the other's best placement."""
-        combos: list[_Combo] = []
+        """Try to rescue each mate near the other's best placement.
+
+        Both directions' rescue windows are framed first and then
+        dispatched together through the backend's ``align_many``
+        batch entry point, so (when their thresholds agree) the two
+        rescue alignments share one kernel dispatch.  Results are
+        those of per-window ``align`` calls, bit for bit.
+        """
+        attempts = []
         for anchor, read, rescued_index in (
                 (best1, read2, 2), (best2, read1, 1)):
             if not self._anchor_is_confident(anchor):
                 continue
-            rescued = self._rescue_mate(anchor, read,
-                                        rescued_index)
-            if rescued is None:
+            job = self._rescue_job(anchor, read)
+            if job is None:
                 continue
+            attempts.append((anchor, read, rescued_index, job))
+        aligned_list = self._dispatch_rescues(
+            [job for _, _, _, job in attempts])
+        combos: list[_Combo] = []
+        for (anchor, read, rescued_index, job), aligned in zip(
+                attempts, aligned_list):
+            if aligned is None or aligned.start < 0:
+                continue
+            rescued = self._rescued_result(anchor, read,
+                                           rescued_index, job,
+                                           aligned)
             pair = (anchor, rescued) if rescued_index == 2 \
                 else (rescued, anchor)
             combo = self._score_combo(*pair,
@@ -598,6 +625,36 @@ class PairedEndMapper:
                 combos.append(combo)
         return combos
 
+    def _dispatch_rescues(self, jobs: list) -> list:
+        """Resolve framed rescue windows, batched per threshold.
+
+        Jobs whose traceback storage would blow the per-call word
+        budget resolve to None (exactly when the per-window ``align``
+        would raise :class:`~repro.align.dp_linear.
+        AlignmentSizeError`); the rest group by their edit threshold
+        and go through one ``align_many`` dispatch per group.
+        """
+        from repro.align.backends import align_storage_words
+        from repro.align.bitalign_packed import DEFAULT_MAX_WORDS
+
+        results: list = [None] * len(jobs)
+        backend = self.mapper.aligner.backend
+        by_k: dict[int, list[int]] = {}
+        for index, (window, pattern, k, _, _) in enumerate(jobs):
+            if align_storage_words(len(window), len(pattern),
+                                   k) > DEFAULT_MAX_WORDS:
+                continue
+            by_k.setdefault(k, []).append(index)
+        for k, indices in sorted(by_k.items()):
+            aligned = backend.align_many(
+                [(jobs[i][0], jobs[i][1]) for i in indices], k)
+            self.stats.align_calls += 1
+            if len(indices) >= 2:
+                self.stats.align_windows_batched += len(indices)
+            for index, result in zip(indices, aligned):
+                results[index] = result
+        return results
+
     def _anchor_is_confident(self, anchor: MappingResult) -> bool:
         return (anchor.mapped
                 and anchor.linear_position is not None
@@ -605,16 +662,18 @@ class PairedEndMapper:
                 and (anchor.identity or 0.0)
                 >= self.config.min_anchor_identity)
 
-    def _rescue_mate(self, anchor: MappingResult, read: str,
-                     rescued_index: int) -> MappingResult | None:
-        """Windowed BitAlign search for a mate near its anchor.
+    def _rescue_job(self, anchor: MappingResult,
+                    read: str) -> tuple | None:
+        """Frame one mate-rescue alignment window.
 
         The rescued mate must sit on the opposite strand, inward of
         the anchor (FR geometry), within the maximum template length —
         one fitting alignment of the oriented mate over that reference
         window, dispatched through the active alignment backend.  The
         window is the *anchor's contig* (multi-contig mappers), so
-        rescue never crosses a contig boundary.
+        rescue never crosses a contig boundary.  Returns
+        ``(window, pattern, k, lo, strand)`` or None when no window
+        can be framed.
         """
         reference = self._rescue_reference(anchor)
         if reference is None:
@@ -638,13 +697,33 @@ class PairedEndMapper:
             return None
         k = max(2, int(round(len(pattern)
                              * self.config.rescue_edit_fraction)))
+        return window, pattern, k, lo, strand
+
+    def _rescue_mate(self, anchor: MappingResult, read: str,
+                     rescued_index: int) -> MappingResult | None:
+        """Per-window rescue (frame + align + build), kept as the
+        sequential equivalent of the batched path for callers that
+        rescue a single mate."""
+        job = self._rescue_job(anchor, read)
+        if job is None:
+            return None
+        window, pattern, k, _, _ = job
         backend = self.mapper.aligner.backend
         try:
             aligned = backend.align(window, pattern, k)
         except AlignmentSizeError:
             return None
+        self.stats.align_calls += 1
         if aligned is None or aligned.start < 0:
             return None
+        return self._rescued_result(anchor, read, rescued_index,
+                                    job, aligned)
+
+    def _rescued_result(self, anchor: MappingResult, read: str,
+                        rescued_index: int, job: tuple,
+                        aligned) -> MappingResult:
+        """Materialize a successful rescue alignment as a result."""
+        _, _, _, lo, strand = job
         name = anchor.read_name.rsplit("/", 1)[0]
         return MappingResult(
             read_name=f"{name}/{rescued_index}",

@@ -128,6 +128,14 @@ class PipelineStats:
     cache_prefetches: int = 0
     windows: int = 0
     rescues: int = 0
+    #: Alignment-kernel dispatches: one per-window backend call or one
+    #: batched multi-window call each count 1.  Unlike the result
+    #: counters this *is* backend-dependent (batching shrinks it) —
+    #: it measures dispatch work, never what is computed.
+    align_calls: int = 0
+    #: Windows that were served by a batched (multi-problem) kernel
+    #: dispatch — 0 for backends without a batched kernel.
+    align_windows_batched: int = 0
     #: Alignment-backend name the pipeline ran with (a configuration
     #: label, not a counter — results are backend-independent).
     backend: str = "python"
@@ -172,15 +180,26 @@ class PipelineStats:
         self.cache_prefetches += other.cache_prefetches
         self.windows += other.windows
         self.rescues += other.rescues
+        self.align_calls += other.align_calls
+        self.align_windows_batched += other.align_windows_batched
         self.seeding.merge(other.seeding)
         for name, stage in other.stages.items():
             self.stage(name).merge(stage)
 
     def stage_rows(self) -> list[dict]:
-        """Rows for :func:`repro.eval.report.format_table`."""
+        """Rows for :func:`repro.eval.report.format_table`.
+
+        The ``calls`` / ``batched`` columns surface kernel-dispatch
+        counts on the align row (blank elsewhere): ``calls`` counts
+        backend dispatches, ``batched`` the windows that shared one.
+        """
         return [
             {"stage": s.name, "in": s.items_in, "out": s.items_out,
-             "dropped": s.dropped, "seconds": round(s.seconds, 4)}
+             "dropped": s.dropped,
+             "calls": self.align_calls if s.name == "align" else None,
+             "batched": self.align_windows_batched
+             if s.name == "align" else None,
+             "seconds": round(s.seconds, 4)}
             for s in self.stages.values()
         ]
 
@@ -195,7 +214,9 @@ class PipelineStats:
             f"{self.cache_misses} misses "
             f"(hit rate {self.cache_hit_rate:.1%})",
             f"alignment work: {self.windows} windows, "
-            f"{self.rescues} rescues (backend: {self.backend})",
+            f"{self.rescues} rescues, {self.align_calls} kernel "
+            f"dispatches ({self.align_windows_batched} windows "
+            f"batched; backend: {self.backend})",
         ] + ([
             f"pair path: {self.pair_cache_hits} hits / "
             f"{self.pair_cache_misses} misses "
@@ -419,6 +440,21 @@ class ExtractStage:
                                  anchor=anchor)
 
 
+@dataclass
+class CollectedRead:
+    """One oriented read's fully-extracted alignment work list.
+
+    Produced by :meth:`AlignStage.collect` on the batched path:
+    every candidate region is drained from the extract stream up
+    front so the windows of many regions (and of both orientations)
+    can share batched kernel dispatches.  Extraction order — and so
+    the region-cache traffic — is identical to the sequential path.
+    """
+
+    seeded: SeededRead
+    regions: list[PreparedRegion]
+
+
 class AlignStage:
     """Step 4 (paper Section 7): windowed BitAlign over each region,
     keeping the ``top_n_alignments`` best alignments by edit distance.
@@ -431,6 +467,14 @@ class AlignStage:
     truncated to the configured top N.  The best candidate becomes the
     result's reported placement, exactly as the old single-winner
     stage chose it.
+
+    The stage has two drive modes with bit-identical results:
+    :meth:`run` aligns regions one by one as the extract stream yields
+    them (required for the ``early_exit_distance`` knob, whose exit
+    decision depends on each alignment in turn), while
+    :meth:`collect` + :meth:`commit` split the stage around a batched
+    :meth:`~repro.core.windows.WindowedAligner.align_many` dispatch so
+    many regions — across orientations — share kernel calls.
     """
 
     name = "align"
@@ -453,6 +497,7 @@ class AlignStage:
             with _timed(stats):
                 aligned = pipe.aligner.align(
                     region.lin, task.sequence, anchor=region.anchor,
+                    counters=pipe.stats,
                 )
                 result.regions_aligned += 1
                 stats.items_out += 1
@@ -470,6 +515,46 @@ class AlignStage:
                     and best_distance
                     <= pipe.config.early_exit_distance):
                 break
+        stats.dropped += len(seeded.regions) - result.regions_aligned
+        commit_candidates(result, candidates,
+                          pipe.config.top_n_alignments)
+        return result
+
+    def collect(self, prepared: PreparedRead,
+                pipe: "MappingPipeline") -> CollectedRead:
+        """Drain the extract stream into an alignment work list."""
+        stats = pipe.stats.stage(self.name)
+        regions = list(prepared.stream)
+        stats.items_in += len(prepared.seeded.regions)
+        return CollectedRead(seeded=prepared.seeded, regions=regions)
+
+    def commit(self, collected: CollectedRead, aligned_list,
+               pipe: "MappingPipeline") -> "MappingResult":
+        """Fold batched alignment results back into a read result.
+
+        ``aligned_list`` holds one
+        :class:`~repro.core.windows.WindowedAlignment` per collected
+        region, in region order — the accounting and candidate
+        commitment are those of :meth:`run` without the early exit.
+        """
+        from repro.core.mapper import MappingResult
+
+        stats = pipe.stats.stage(self.name)
+        seeded = collected.seeded
+        task = seeded.task
+        result = MappingResult(
+            read_name=task.name, read_length=len(task.sequence),
+            mapped=False, strand=task.strand, seeding=seeded.stats,
+        )
+        candidates: "list[AlignmentCandidate]" = []
+        for region, aligned in zip(collected.regions, aligned_list):
+            result.regions_aligned += 1
+            stats.items_out += 1
+            pipe.stats.regions_aligned += 1
+            pipe.stats.windows += aligned.windows
+            pipe.stats.rescues += aligned.rescues
+            candidates.append(
+                self._candidate(aligned, region, task.strand, pipe))
         stats.dropped += len(seeded.regions) - result.regions_aligned
         commit_candidates(result, candidates,
                           pipe.config.top_n_alignments)
@@ -667,8 +752,9 @@ class MappingPipeline:
         # Node starts in the global character space, for the O(log n)
         # span -> node-range cache-key computation.
         self._node_starts = graph.offsets()
+        self.align_stage = AlignStage()
         self.stages = (SeedStage(), ChainFilterStage(), ExtractStage(),
-                       AlignStage())
+                       self.align_stage)
         self.select = SelectStage()
         self.reset_stats()
 
@@ -737,14 +823,30 @@ class MappingPipeline:
             self.stats.backend = backend_name
 
     def map_read(self, read: str, name: str) -> "MappingResult":
-        """Map one (validated) read through the staged pipeline."""
-        forward = self._run_oriented(read, name, "+")
-        reverse = None
+        """Map one (validated) read through the staged pipeline.
+
+        Without the ``early_exit_distance`` knob, all candidate
+        regions of *both* orientations are collected first and
+        aligned through one batched dispatch (bit-identical results,
+        fewer kernel calls); with the knob the sequential stage drive
+        is kept, since the exit decision consumes each alignment in
+        turn.
+        """
+        if self.config.early_exit_distance is not None:
+            forward = self._run_oriented(read, name, "+")
+            reverse = None
+            if self.config.both_strands:
+                reverse = self._run_oriented(
+                    seqmod.reverse_complement(read), name, "-",
+                )
+            return self.select.run(forward, reverse, self)
+        collected = [self._collect_oriented(read, name, "+")]
         if self.config.both_strands:
-            reverse = self._run_oriented(
-                seqmod.reverse_complement(read), name, "-",
-            )
-        return self.select.run(forward, reverse, self)
+            collected.append(self._collect_oriented(
+                seqmod.reverse_complement(read), name, "-"))
+        results = self._align_collected(collected)
+        reverse = results[1] if len(results) > 1 else None
+        return self.select.run(results[0], reverse, self)
 
     def map_read_candidates(
         self, read: str, name: str,
@@ -758,10 +860,17 @@ class MappingPipeline:
         ``best`` is identical to :meth:`map_read` under
         ``both_strands=True`` (FR pairing always considers both).
         """
-        forward = self._run_oriented(read, name, "+")
-        reverse = self._run_oriented(
-            seqmod.reverse_complement(read), name, "-",
-        )
+        if self.config.early_exit_distance is not None:
+            forward = self._run_oriented(read, name, "+")
+            reverse = self._run_oriented(
+                seqmod.reverse_complement(read), name, "-",
+            )
+        else:
+            forward, reverse = self._align_collected([
+                self._collect_oriented(read, name, "+"),
+                self._collect_oriented(
+                    seqmod.reverse_complement(read), name, "-"),
+            ])
         best = self.select.run(forward, reverse, self)
         return best, forward, reverse
 
@@ -771,6 +880,40 @@ class MappingPipeline:
         for stage in self.stages:
             item = stage.run(item, self)
         return item
+
+    def _collect_oriented(self, read: str, name: str,
+                          strand: str) -> CollectedRead:
+        """Stages 1-3 plus region collection for one orientation."""
+        item = ReadTask(name=name, sequence=read, strand=strand)
+        for stage in self.stages[:-1]:
+            item = stage.run(item, self)
+        return self.align_stage.collect(item, self)
+
+    def _align_collected(
+        self, collected: list[CollectedRead],
+    ) -> "list[MappingResult]":
+        """Align every collected region through one batched dispatch.
+
+        The cross-orientation work list is what makes batching pay:
+        all top-N regions of all orientations length-bucket together.
+        """
+        items = [
+            (region.lin, batch.seeded.task.sequence, region.anchor)
+            for batch in collected
+            for region in batch.regions
+        ]
+        stats = self.stats.stage(self.align_stage.name)
+        with _timed(stats):
+            aligned = self.aligner.align_many(items,
+                                              counters=self.stats)
+        results = []
+        cursor = 0
+        for batch in collected:
+            span = aligned[cursor:cursor + len(batch.regions)]
+            cursor += len(batch.regions)
+            results.append(
+                self.align_stage.commit(batch, span, self))
+        return results
 
 
 # ----------------------------------------------------------------------

@@ -37,7 +37,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.core.alignment import Cigar
-from repro.core.bitalign import BitAlignResult, bitalign
+from repro.core.bitalign import BitAlignResult, bitalign, traceback
 from repro.graph.linearize import LinearizedGraph
 
 
@@ -150,6 +150,139 @@ class _Extension:
     dead_end_insertions: int = 0
 
 
+@dataclass
+class _WindowJob:
+    """One pending window alignment of a suspended extension.
+
+    The windowing loop (:meth:`WindowedAligner._extend_steps`) yields
+    these instead of calling the kernel directly, so a dispatcher can
+    gather the pending windows of *many* reads and resolve them
+    through one batched backend call.  ``anchors`` are already in
+    window-local coordinates.
+    """
+
+    window: LinearizedGraph
+    chunk: str
+    k: int
+    anchors: list[int] | None
+
+
+class _AlignSession:
+    """One read's windowed alignment, suspended between windows.
+
+    Wraps the one-or-two directional extensions of
+    :meth:`WindowedAligner.align` (right from the anchor, then left on
+    the reversed view) as resumable generators: :attr:`pending` is the
+    next window needing a kernel result, :meth:`advance` feeds one in,
+    and :meth:`finish` merges the extensions exactly as the sequential
+    path does.  Driving a session one window at a time reproduces
+    ``align`` verbatim; interleaving many sessions lets the dispatcher
+    batch their windows without changing any per-read result.
+    """
+
+    def __init__(self, aligner: "WindowedAligner",
+                 lin: LinearizedGraph, read: str,
+                 anchor: tuple[int, int] | None,
+                 observer: WindowObserver | None = None) -> None:
+        if not read:
+            raise ValueError("read must not be empty")
+        self.lin = lin
+        if anchor is None:
+            stages = [("only", lin, read, None)]
+        else:
+            anchor_pos, anchor_read = anchor
+            if not 0 <= anchor_pos < len(lin):
+                raise ValueError(
+                    f"anchor position {anchor_pos} outside the region"
+                )
+            if not 0 <= anchor_read < len(read):
+                raise ValueError(
+                    f"anchor read offset {anchor_read} outside the read"
+                )
+            stages = [("right", lin, read[anchor_read:], [anchor_pos])]
+            if anchor_read > 0:
+                rev = lin.reversed_view()
+                n = len(lin)
+                # In reversed coordinates the left extension starts at
+                # the (reversed) successors of the anchor, i.e. the
+                # original predecessors.
+                rev_anchors = list(rev.successors[n - 1 - anchor_pos])
+                stages.append(("left", rev,
+                               read[:anchor_read][::-1], rev_anchors))
+        self._aligner = aligner
+        self._observer = observer
+        self._stages = stages
+        self._stage = 0
+        self._gen = None
+        self._parts: dict[str, _Extension] = {}
+        #: The window awaiting a kernel result (None once finished).
+        self.pending: _WindowJob | None = None
+        self._open_next()
+
+    def _open_next(self) -> None:
+        while self._stage < len(self._stages):
+            label, lin, read, anchors = self._stages[self._stage]
+            self._gen = self._aligner._extend_steps(
+                lin, read, anchors, self._observer)
+            try:
+                self.pending = next(self._gen)
+                return
+            except StopIteration as stop:
+                self._parts[label] = stop.value
+                self._gen = None
+                self._stage += 1
+        self.pending = None
+
+    def advance(self, result: BitAlignResult | None) -> None:
+        """Feed the kernel result of :attr:`pending` and move on."""
+        if self.pending is None:
+            raise RuntimeError("alignment session already finished")
+        try:
+            self.pending = self._gen.send(result)
+        except StopIteration as stop:
+            label = self._stages[self._stage][0]
+            self._parts[label] = stop.value
+            self._gen = None
+            self._stage += 1
+            self._open_next()
+
+    def finish(self) -> WindowedAlignment:
+        """Merge the finished extensions (sequential-path semantics)."""
+        if self.pending is not None:
+            raise RuntimeError("alignment session still has windows")
+        parts = self._parts
+        if "only" in parts:
+            extension = parts["only"]
+            ops, path = extension.ops, extension.path
+            windows = extension.windows
+            rescues = extension.rescues
+            dead_end = extension.dead_end_insertions
+        else:
+            right = parts["right"]
+            windows, rescues = right.windows, right.rescues
+            dead_end = right.dead_end_insertions
+            ops, path = right.ops, right.path
+            left = parts.get("left")
+            if left is not None:
+                n = len(self.lin)
+                windows += left.windows
+                rescues += left.rescues
+                dead_end += left.dead_end_insertions
+                ops = list(reversed(left.ops)) + ops
+                path = [n - 1 - p for p in reversed(left.path)] + path
+        cigar = Cigar.from_ops(ops)
+        reference = "".join(self.lin.chars[p] for p in path)
+        return WindowedAlignment(
+            distance=cigar.edit_distance,
+            cigar=cigar,
+            path=tuple(path),
+            reference=reference,
+            windows=windows,
+            rescues=rescues,
+            dead_end_insertions=dead_end,
+        )
+
+
 class WindowedAligner:
     """Aligns arbitrarily long reads against a linearized subgraph.
 
@@ -181,6 +314,7 @@ class WindowedAligner:
         read: str,
         anchor: tuple[int, int] | None = None,
         observer: WindowObserver | None = None,
+        counters=None,
     ) -> WindowedAlignment:
         """Windowed fitting alignment of ``read`` against ``lin``.
 
@@ -193,74 +327,114 @@ class WindowedAligner:
                 position ``graph_position``.  With an anchor the
                 aligner extends left and right from it; without one the
                 first window searches all start positions.
+            counters: optional stats object with ``align_calls`` /
+                ``align_windows_batched`` attributes to charge kernel
+                dispatches against (see
+                :class:`repro.core.pipeline.PipelineStats`).
 
         The reported distance is the edit distance of the *reported*
         alignment (replay-exact); like GenASM's, the heuristic may
         exceed the global optimum when an error cluster straddles a
         window cut.
         """
-        if not read:
-            raise ValueError("read must not be empty")
-        if anchor is None:
-            extension = self._extend(lin, read, anchors=None,
-                                     observer=observer)
-            ops, path = extension.ops, extension.path
-            windows = extension.windows
-            rescues = extension.rescues
-            dead_end = extension.dead_end_insertions
-        else:
-            anchor_pos, anchor_read = anchor
-            if not 0 <= anchor_pos < len(lin):
-                raise ValueError(
-                    f"anchor position {anchor_pos} outside the region"
-                )
-            if not 0 <= anchor_read < len(read):
-                raise ValueError(
-                    f"anchor read offset {anchor_read} outside the read"
-                )
-            right = self._extend(lin, read[anchor_read:],
-                                 anchors=[anchor_pos],
-                                 observer=observer)
-            windows, rescues = right.windows, right.rescues
-            dead_end = right.dead_end_insertions
-            ops, path = right.ops, right.path
-            if anchor_read > 0:
-                rev = lin.reversed_view()
-                n = len(lin)
-                # In reversed coordinates the left extension starts at
-                # the (reversed) successors of the anchor, i.e. the
-                # original predecessors.
-                rev_anchors = list(rev.successors[n - 1 - anchor_pos])
-                left = self._extend(rev, read[:anchor_read][::-1],
-                                    anchors=rev_anchors,
-                                    observer=observer)
-                windows += left.windows
-                rescues += left.rescues
-                dead_end += left.dead_end_insertions
-                ops = list(reversed(left.ops)) + ops
-                path = [n - 1 - p for p in reversed(left.path)] + path
+        session = _AlignSession(self, lin, read, anchor, observer)
+        while session.pending is not None:
+            session.advance(self._resolve_job(session.pending,
+                                              counters))
+        return session.finish()
 
-        cigar = Cigar.from_ops(ops)
-        reference = "".join(lin.chars[p] for p in path)
-        return WindowedAlignment(
-            distance=cigar.edit_distance,
-            cigar=cigar,
-            path=tuple(path),
-            reference=reference,
-            windows=windows,
-            rescues=rescues,
-            dead_end_insertions=dead_end,
-        )
+    def align_many(
+        self,
+        items: "list[tuple[LinearizedGraph, str, tuple[int, int] | None]]",
+        observer: WindowObserver | None = None,
+        counters=None,
+    ) -> list[WindowedAlignment]:
+        """Windowed alignment of many ``(lin, read, anchor)`` items.
 
-    def _extend(
+        Per-item results are bit-for-bit those of :meth:`align` — the
+        same windowing sessions run, only the *dispatch* changes: each
+        round gathers every session's pending window, routes the plain
+        chain windows (grouped by their current ``k``) through the
+        backend's :meth:`~repro.align.backends.AlignmentBackend.
+        chain_bitvectors_many` batch entry, and resolves the rest
+        (graph windows with hops, empty windows, and whatever the
+        backend declines) through the per-window path.  The traceback
+        tail is shared with :func:`repro.core.bitalign.bitalign`, so
+        the routing never changes an alignment.
+        """
+        sessions = [
+            _AlignSession(self, lin, read, anchor, observer)
+            for lin, read, anchor in items
+        ]
+        backend = self.backend
+        batchable = backend.provides_chain_kernel
+        while True:
+            pending = [(session, session.pending)
+                       for session in sessions
+                       if session.pending is not None]
+            if not pending:
+                break
+            scalar = []
+            by_k: dict[int, list] = {}
+            for session, job in pending:
+                if batchable and len(job.window) > 0 \
+                        and job.window.is_chain():
+                    by_k.setdefault(job.k, []).append((session, job))
+                else:
+                    scalar.append((session, job))
+            for k, group in sorted(by_k.items()):
+                rows_list = backend.chain_bitvectors_many(
+                    [(job.window.chars, job.chunk)
+                     for _, job in group], k)
+                served = sum(1 for rows in rows_list
+                             if rows is not None)
+                if counters is not None and served:
+                    counters.align_calls += 1
+                    counters.align_windows_batched += served
+                for (session, job), rows in zip(group, rows_list):
+                    if rows is None:
+                        session.advance(
+                            self._resolve_job(job, counters))
+                    else:
+                        session.advance(
+                            self._traceback_from_rows(job, rows))
+            for session, job in scalar:
+                session.advance(self._resolve_job(job, counters))
+        return [session.finish() for session in sessions]
+
+    def _resolve_job(self, job: _WindowJob,
+                     counters=None) -> BitAlignResult | None:
+        """Per-window kernel path (one backend dispatch)."""
+        if counters is not None:
+            counters.align_calls += 1
+        return bitalign(job.window, job.chunk, job.k,
+                        anchors=job.anchors, backend=self.backend)
+
+    @staticmethod
+    def _traceback_from_rows(job: _WindowJob,
+                             rows) -> BitAlignResult | None:
+        """Finish a window from backend-provided bitvector rows —
+        the chain-kernel tail of :func:`repro.core.bitalign.bitalign`
+        verbatim."""
+        located = rows.best_start(candidates=job.anchors)
+        if located is None:
+            return None
+        budget, start = located
+        return traceback(job.window, job.chunk, rows, start, budget)
+
+    def _extend_steps(
         self,
         lin: LinearizedGraph,
         read: str,
         anchors: list[int] | None,
         observer: WindowObserver | None = None,
-    ) -> _Extension:
-        """Forward windowing loop.
+    ):
+        """Forward windowing loop, as a resumable generator.
 
+        Yields a :class:`_WindowJob` wherever the sequential loop
+        called the kernel and receives the corresponding
+        :class:`~repro.core.bitalign.BitAlignResult` (or None) back
+        via ``send``; returns the finished :class:`_Extension`.
         ``anchors`` restricts the allowed start positions of the first
         window (None = search every position of the whole region, the
         un-anchored fitting mode).
@@ -310,8 +484,8 @@ class WindowedAligner:
                     window = lin.slice(base, text_end)
                     local_anchors = [a - base for a in anchors
                                      if a - base < len(window)]
-                result = bitalign(window, chunk, k, anchors=local_anchors,
-                                  backend=self.backend)
+                result = yield _WindowJob(window, chunk, k,
+                                          local_anchors)
                 if result is not None:
                     break
                 if k >= len(chunk):

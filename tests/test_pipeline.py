@@ -367,3 +367,71 @@ class TestBackendParity:
         mapper.map_batch(reads[:4], jobs=2)
         assert mapper.stats.backend == "numpy"
         assert "backend: numpy" in "\n".join(mapper.stats.summary_lines())
+
+
+class TestBatchedAlignPath:
+    """The collect-then-batch align path and its dispatch counters.
+
+    ``align_calls`` / ``align_windows_batched`` are deliberately NOT
+    part of :func:`_counter_key` — they describe how a backend chose
+    to dispatch work, which differs across backends by design, while
+    every result-bearing counter must stay identical.
+    """
+
+    def test_batched_path_matches_sequential_path(self, workload):
+        """``early_exit_distance=-1`` drives the legacy one-window-
+        at-a-time region loop without ever exiting early; the default
+        collect-then-batch path must produce identical mappings."""
+        reference, reads = workload
+        batched = _fresh_mapper(reference, align_backend="numpy")
+        sequential = _fresh_mapper(reference, align_backend="numpy",
+                                   early_exit_distance=-1)
+        fast = batched.map_batch(reads, jobs=1)
+        slow = sequential.map_batch(reads, jobs=1)
+        assert [_result_key(r) for r in fast] == \
+            [_result_key(r) for r in slow]
+        # The sequential path never reaches the batched entry point.
+        assert sequential.stats.align_windows_batched == 0
+        assert batched.stats.align_windows_batched > 0
+
+    @pytest.mark.parametrize("backend,expect_batched",
+                             [("numpy", True), ("python", False)])
+    def test_dispatch_counters_per_backend(self, workload, backend,
+                                           expect_batched):
+        reference, reads = workload
+        mapper = _fresh_mapper(reference, align_backend=backend)
+        mapper.map_batch(reads, jobs=1)
+        stats = mapper.stats
+        assert stats.align_calls > 0
+        if expect_batched:
+            # Batching must actually reduce dispatches.
+            assert stats.align_windows_batched > 0
+            assert stats.align_calls < stats.windows
+        else:
+            assert stats.align_windows_batched == 0
+            assert stats.align_calls >= stats.windows
+
+    def test_counters_surface_in_rows_and_summary(self, workload):
+        reference, reads = workload
+        mapper = _fresh_mapper(reference, align_backend="numpy")
+        mapper.map_batch(reads[:4], jobs=1)
+        stats = mapper.stats
+        rows = {row["stage"]: row for row in stats.stage_rows()}
+        assert rows["align"]["calls"] == stats.align_calls
+        assert rows["align"]["batched"] == stats.align_windows_batched
+        assert rows["seed"]["calls"] is None
+        assert rows["seed"]["batched"] is None
+        summary = "\n".join(stats.summary_lines())
+        assert f"{stats.align_calls} kernel dispatches" in summary
+        assert f"({stats.align_windows_batched} windows batched" \
+            in summary
+
+    def test_dispatch_counters_merge(self):
+        merged = PipelineStats()
+        part = PipelineStats()
+        part.align_calls = 3
+        part.align_windows_batched = 7
+        merged.merge(part)
+        merged.merge(part)
+        assert merged.align_calls == 6
+        assert merged.align_windows_batched == 14
