@@ -1,0 +1,112 @@
+"""Index artifacts — cold in-memory build vs zero-copy mmap attach.
+
+Not a paper figure: this benchmark characterizes the ``.sgidx``
+artifact workflow that amortizes SeGraM's software pre-processing
+(paper Section 5 builds the graph + three-level index once per
+reference; Fig. 6 fixes the flat layout the artifact stores).  Three
+startup paths over the same multi-contig reference:
+
+* ``cold build`` — construct a :class:`repro.api.Mapper` from records
+  in memory (graph + dict index from scratch), the per-process cost
+  every fork-mode worker used to pay;
+* ``artifact build`` — flatten + write the versioned artifact, the
+  one-time cost of ``repro index build``;
+* ``mmap attach`` — ``Mapper.from_artifact``, the per-process cost a
+  persistent-pool worker pays (checksum verify included).
+
+Acceptance check: attach must be at least 10x faster than the cold
+build, and the attached mapper's results must be identical to the
+cold mapper's on a sample batch.
+
+Quick mode: set ``REPRO_BENCH_QUICK=1`` (the CI bench-smoke job does)
+to shrink the reference; the acceptance assertions still hold.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+
+from repro.api import Mapper
+from repro.core.mapper import SeGraMConfig
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+CONFIG = SeGraMConfig(w=10, k=15, bucket_bits=13)
+
+
+def _build_reference():
+    rng = random.Random(4242)
+    contig_length = 30_000 if QUICK else 120_000
+    return [
+        (f"chr{i}", "".join(rng.choice("ACGT")
+                            for _ in range(contig_length)))
+        for i in range(1, 3)
+    ]
+
+
+def _sample_reads(records, count: int = 10, length: int = 300):
+    rng = random.Random(7)
+    reads = []
+    for i in range(count):
+        _, seq = records[i % len(records)]
+        start = rng.randrange(0, len(seq) - length)
+        reads.append((f"read{i}", seq[start:start + length]))
+    return reads
+
+
+def index_artifact_rows(tmp_path):
+    records = _build_reference()
+    reads = _sample_reads(records)
+    path = tmp_path / "bench.sgidx"
+
+    start = time.perf_counter()
+    cold = Mapper(records, config=CONFIG, max_node_length=4_096)
+    cold_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    cold.save_index(path)
+    build_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    attached = Mapper.from_artifact(path)
+    attach_s = time.perf_counter() - start
+
+    cold_records = cold.map_batch(list(reads))
+    attached_records = attached.map_batch(list(reads))
+
+    total_bases = sum(len(seq) for _, seq in records)
+    rows = [
+        {"path": "cold build (in-memory Mapper)",
+         "seconds": round(cold_s, 4), "speedup_vs_cold": 1.0},
+        {"path": "artifact build (repro index build)",
+         "seconds": round(build_s, 4),
+         "speedup_vs_cold": round(cold_s / build_s, 1)},
+        {"path": "mmap attach (Mapper.from_artifact)",
+         "seconds": round(attach_s, 4),
+         "speedup_vs_cold": round(cold_s / attach_s, 1)},
+    ]
+    meta = {
+        "bases": total_bases,
+        "artifact_bytes": path.stat().st_size,
+        "attach_speedup": cold_s / attach_s,
+        "parity": cold_records == attached_records,
+    }
+    return rows, meta
+
+
+def test_index_artifact_startup(benchmark, show, tmp_path):
+    rows, meta = benchmark.pedantic(
+        lambda: index_artifact_rows(tmp_path), rounds=1, iterations=1)
+    show(rows, "index artifact — cold build vs mmap attach "
+               f"({meta['bases']} bases, "
+               f"{meta['artifact_bytes']} byte artifact)")
+
+    # The attached mapper is the cold mapper, bit for bit.
+    assert meta["parity"]
+    # The acceptance bar: zero-copy attach amortizes the build.
+    assert meta["attach_speedup"] >= 10.0, (
+        f"mmap attach only {meta['attach_speedup']:.1f}x faster "
+        f"than cold build (need >= 10x)"
+    )

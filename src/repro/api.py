@@ -47,7 +47,7 @@ from repro.graph.genome_graph import GenomeGraph
 from repro.refs.reference import Contig, ReferenceSet, ReferenceSetError
 
 if TYPE_CHECKING:  # pragma: no cover - only for hints
-    from repro.core.pipeline import PipelineStats
+    from repro.core.pipeline import PersistentPool, PipelineStats
 
 
 @dataclass(frozen=True)
@@ -236,6 +236,10 @@ class Mapper:
                                                 config=config)
         self.pair_config = pair_config or PairedEndConfig()
         self._pair_engine: PairedEndMapper | None = None
+        #: The ``.sgidx`` artifact this mapper is attached to (set by
+        #: :meth:`from_artifact` / :meth:`save_index`); persistent
+        #: worker pools (:meth:`pool`) attach to it by path.
+        self.artifact_path: Path | None = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -280,6 +284,91 @@ class Mapper:
         graph = read_gfa(path)
         return cls(graph, config=config, pair_config=pair_config,
                    name=name or Path(path).stem)
+
+    @classmethod
+    def from_artifact(
+        cls,
+        path: str | Path,
+        config: SeGraMConfig | None = None,
+        pair_config: PairedEndConfig | None = None,
+        verify: bool = True,
+    ) -> "Mapper":
+        """Attach to a ``.sgidx`` index artifact (O(ms), no rebuild).
+
+        The artifact (written by :meth:`save_index` / ``repro index
+        build``) carries the reference set, the combined graph, and
+        the flat minimizer index; the index arrays stay memory-mapped
+        read-only, so N mappers attached to one artifact share one
+        physical copy.  The artifact's indexing parameters (``w``,
+        ``k``, ``bucket_bits``, scoring) override the corresponding
+        fields of ``config`` — they are baked into the index.
+        ``verify=False`` skips the payload checksum (worker processes
+        re-attaching to an artifact the parent already verified).
+        """
+        from repro.io.artifact import load_index_artifact
+
+        loaded = load_index_artifact(path, verify=verify)
+        config = replace(
+            config or SeGraMConfig(),
+            w=loaded.params["w"], k=loaded.params["k"],
+            bucket_bits=loaded.params["bucket_bits"],
+        )
+        mapper = cls.__new__(cls)
+        mapper.reference = loaded.refs
+        mapper.engine = SeGraM.from_reference_set(
+            loaded.refs, config=config, index=loaded.index,
+        )
+        mapper.pair_config = pair_config or PairedEndConfig()
+        mapper._pair_engine = None
+        mapper.artifact_path = Path(path)
+        return mapper
+
+    # ------------------------------------------------------------------
+    # Index artifacts and worker pools
+    # ------------------------------------------------------------------
+
+    def save_index(self, path: str | Path) -> Path:
+        """Write this mapper's reference + index as a ``.sgidx``
+        artifact and attach to it (enables :meth:`pool`).
+
+        A dict-catalog index is flattened into the paper's three-level
+        array layout first; an already-flat index is written as-is.
+        """
+        from repro.index.flat_index import FlatIndex
+        from repro.io.artifact import write_index_artifact
+
+        index = self.engine.index
+        if not isinstance(index, FlatIndex):
+            index = FlatIndex.from_hash_index(index)
+        write_index_artifact(path, self.reference, index)
+        self.artifact_path = Path(path)
+        return self.artifact_path
+
+    def pool(self, jobs: int,
+             start_method: str | None = None) -> "PersistentPool":
+        """A standing worker pool attached to this mapper's artifact.
+
+        Workers construct their engines from ``artifact_path`` (mmap
+        attach — no copy-on-write exposure of this process's heap), so
+        the mapper must be artifact-backed: construct it via
+        :meth:`from_artifact` or call :meth:`save_index` first.  Pass
+        the pool to :meth:`map_batch` / :meth:`map_pairs`; close it
+        (or use it as a context manager) when done.
+        """
+        from repro.core.pipeline import PersistentPool
+
+        if self.artifact_path is None:
+            raise ValueError(
+                "persistent pools attach workers to an index artifact "
+                "by path; build one first (Mapper.from_artifact(...) "
+                "or mapper.save_index(path))"
+            )
+        factory = _ArtifactWorkerFactory(
+            path=str(self.artifact_path),
+            config=self.engine.config,
+            pair_config=self.pair_config,
+        )
+        return PersistentPool(factory, jobs, start_method=start_method)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -334,19 +423,25 @@ class Mapper:
         return _record_from_result(self.engine.map_read(read, name),
                                    self._default_contig)
 
-    def map_batch(self, reads, jobs: int = 1) -> list[MappingRecord]:
+    def map_batch(self, reads, jobs: int = 1,
+                  pool: "PersistentPool | None" = None,
+                  ) -> list[MappingRecord]:
         """Map a batch of reads, optionally sharded across workers.
 
         ``reads`` holds ``(name, sequence)`` pairs, or bare sequence
-        strings (auto-named ``read0``, ``read1``, ...).  Results come
+        strings (auto-named ``read0``, ``read1``, ...).  ``jobs > 1``
+        forks per-batch workers; a :class:`~repro.core.pipeline.
+        PersistentPool` (see :meth:`pool`) serves the batch from
+        standing artifact-attached workers instead.  Results come
         back in input order and are identical to mapping each read
-        alone, for any ``jobs``.
+        alone, for any ``jobs`` and either pool mode.
         """
         reads = [(f"read{i}", r) if isinstance(r, str) else tuple(r)
                  for i, r in enumerate(reads)]
         default = self._default_contig
         return [_record_from_result(result, default)
-                for result in self.engine.map_batch(reads, jobs=jobs)]
+                for result in self.engine.map_batch(reads, jobs=jobs,
+                                                    pool=pool)]
 
     def map_pair(self, read1: str, read2: str,
                  name: str = "pair"
@@ -360,6 +455,7 @@ class Mapper:
         reads1: Sequence,
         reads2: Sequence | None = None,
         jobs: int = 1,
+        pool: "PersistentPool | None" = None,
     ) -> list[tuple[MappingRecord, MappingRecord]]:
         """Map FR read pairs; returns ``(mate1, mate2)`` records.
 
@@ -407,7 +503,8 @@ class Mapper:
                 pairs.append((name, r1, r2))
         else:
             pairs = [tuple(p) for p in reads1]
-        results = self.pair_engine().map_pairs(pairs, jobs=jobs)
+        results = self.pair_engine().map_pairs(pairs, jobs=jobs,
+                                               pool=pool)
         default = self._default_contig
         return [_pair_records(pair, default) for pair in results]
 
@@ -415,3 +512,58 @@ class Mapper:
         return (f"Mapper({len(self.reference)} contigs, "
                 f"{self.graph.total_sequence_length} bases, "
                 f"backend={self.engine.pipeline.stats.backend})")
+
+
+# ----------------------------------------------------------------------
+# Persistent-pool worker plumbing
+# ----------------------------------------------------------------------
+
+class _MapperContexts:
+    """One worker's engines, addressed by shard-payload mode.
+
+    Built once per pool worker by :class:`_ArtifactWorkerFactory`;
+    the pair engine (and its statistics) is created lazily on the
+    first ``"pairs"`` shard, mirroring ``Mapper.pair_engine()``.
+    """
+
+    def __init__(self, mapper: Mapper) -> None:
+        self.mapper = mapper
+        self._contexts: dict = {}
+
+    def shard_context(self, mode: str):
+        if mode not in self._contexts:
+            if mode == "reads":
+                from repro.core.pipeline import _ReadShardContext
+                self._contexts[mode] = _ReadShardContext(
+                    self.mapper.engine)
+            elif mode == "pairs":
+                from repro.core.pairing import _PairShardContext
+                self._contexts[mode] = _PairShardContext(
+                    self.mapper.pair_engine())
+            else:
+                raise ValueError(f"unknown shard mode {mode!r}")
+        return self._contexts[mode]
+
+
+@dataclass(frozen=True)
+class _ArtifactWorkerFactory:
+    """Picklable recipe for a pool worker's engine.
+
+    Carries the artifact *path* plus configuration — never a live
+    engine — so :class:`~repro.core.pipeline.PersistentPool` workers
+    work under ``spawn`` as well as ``fork``, and attach to the
+    memory-mapped artifact instead of copying the parent's heap.
+    The checksum is skipped on attach (``verify=False``): the parent
+    verified the artifact when it built the pool.
+    """
+
+    path: str
+    config: SeGraMConfig
+    pair_config: PairedEndConfig
+
+    def __call__(self) -> _MapperContexts:
+        mapper = Mapper.from_artifact(
+            self.path, config=self.config,
+            pair_config=self.pair_config, verify=False,
+        )
+        return _MapperContexts(mapper)

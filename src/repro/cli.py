@@ -5,9 +5,12 @@ Subcommands mirror the vg-style workflow of the paper's Section 5:
 * ``construct`` — build a variation graph from FASTA + VCF, emit GFA
   (``vg construct`` + ``vg ids -s`` + ``vg view`` in one step);
 * ``index`` — build the minimizer hash index of a GFA graph and print
-  its Fig. 6/Fig. 7 statistics;
+  its Fig. 6/Fig. 7 statistics; ``index build`` writes a reference +
+  flat index as a versioned ``.sgidx`` artifact and ``index inspect``
+  prints an artifact's layout;
 * ``map`` — map FASTA/FASTQ reads against a reference (+ optional
-  VCF), emitting GAF (graph) or SAM (linear) records;
+  VCF) or a pre-built ``--index`` artifact (mmap attach, no rebuild),
+  emitting GAF (graph) or SAM (linear) records;
 * ``stats`` — graph statistics including the Fig. 13 hop profile;
 * ``model`` — query the hardware performance/area/power model.
 
@@ -53,17 +56,61 @@ def build_parser() -> argparse.ArgumentParser:
     construct.add_argument("--max-node-length", type=int, default=0)
 
     index = sub.add_parser(
-        "index", help="build the minimizer index of a GFA graph")
-    index.add_argument("--graph", required=True, type=Path)
+        "index",
+        help="build a minimizer index (in-memory stats, or an "
+             "on-disk .sgidx artifact via 'index build')")
+    # Legacy mode (no sub-subcommand): print the Fig. 6/7 statistics
+    # of a GFA graph's index.
+    index.add_argument("--graph", type=Path, default=None)
     index.add_argument("-w", type=int, default=10,
                        help="minimizer window (default 10)")
     index.add_argument("-k", type=int, default=15,
                        help="k-mer length (default 15)")
     index.add_argument("--bucket-bits", type=int, default=14)
+    index_sub = index.add_subparsers(dest="index_command")
+
+    index_build = index_sub.add_parser(
+        "build",
+        help="build a reference + flat index into a .sgidx artifact")
+    index_build.add_argument("reference", type=Path,
+                             help="reference FASTA (or GFA graph)")
+    index_build.add_argument("-o", "--output", required=True,
+                             type=Path, help="artifact path (.sgidx)")
+    index_build.add_argument("--vcf", type=Path, default=None,
+                             help="variants to build into the graph")
+    index_build.add_argument("-w", type=int, default=10,
+                             help="minimizer window (default 10)")
+    index_build.add_argument("-k", type=int, default=15,
+                             help="k-mer length (default 15)")
+    index_build.add_argument("--bucket-bits", type=int, default=14)
+    index_build.add_argument("--jobs", type=int, default=1,
+                             help="worker processes for per-contig "
+                                  "parallel index construction")
+    index_build.add_argument("--max-node-length", type=int,
+                             default=4_096,
+                             help="backbone chunking for linear "
+                                  "contigs (default 4096)")
+
+    index_inspect = index_sub.add_parser(
+        "inspect", help="print a .sgidx artifact's layout and contigs")
+    index_inspect.add_argument("artifact", type=Path)
 
     map_cmd = sub.add_parser(
-        "map", help="map reads to a reference (+ optional VCF)")
-    map_cmd.add_argument("--reference", required=True, type=Path)
+        "map", help="map reads to a reference (+ optional VCF) or a "
+                    "pre-built .sgidx index artifact")
+    map_cmd.add_argument("--reference", type=Path, default=None,
+                         help="reference FASTA (an .sgidx artifact "
+                              "here is auto-detected and attached)")
+    map_cmd.add_argument("--index", type=Path, default=None,
+                         help="pre-built .sgidx artifact ('repro "
+                              "index build'); mmap-attached instead "
+                              "of rebuilding the index")
+    map_cmd.add_argument("--pool", choices=("fork", "persistent"),
+                         default="fork",
+                         help="worker mode for --jobs > 1: 'fork' "
+                              "per batch (default), or a standing "
+                              "'persistent' pool whose workers "
+                              "attach to the --index artifact")
     map_cmd.add_argument("--vcf", type=Path, default=None)
     map_cmd.add_argument("--reads", required=True, type=Path,
                          help="reads (FASTA/FASTQ); R1 when --paired "
@@ -169,6 +216,15 @@ def cmd_construct(args: argparse.Namespace) -> int:
 
 
 def cmd_index(args: argparse.Namespace) -> int:
+    if getattr(args, "index_command", None) == "build":
+        return cmd_index_build(args)
+    if getattr(args, "index_command", None) == "inspect":
+        return cmd_index_inspect(args)
+    if args.graph is None:
+        raise SystemExit(
+            "error: 'repro index' needs --graph (statistics mode) or "
+            "a subcommand ('index build' / 'index inspect')"
+        )
     graph = read_gfa(args.graph)
     if not graph.is_topologically_sorted():
         graph = graph.topologically_sorted()
@@ -194,6 +250,79 @@ def cmd_index(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_index_build(args: argparse.Namespace) -> int:
+    """``repro index build <ref> -o ref.sgidx``: reference + flat
+    index into a versioned, checksummed artifact."""
+    from repro.api import as_reference_set
+    from repro.index.flat_index import build_flat_index
+    from repro.io.artifact import write_index_artifact
+
+    if args.jobs < 1:
+        raise SystemExit("error: --jobs must be >= 1")
+    if args.reference.suffix.lower() == ".gfa":
+        if args.vcf is not None:
+            raise SystemExit("error: --vcf cannot be applied to a "
+                             "GFA graph reference")
+        refs = as_reference_set(read_gfa(args.reference),
+                                name=args.reference.stem)
+    else:
+        records = read_fasta(args.reference)
+        if not records:
+            raise SystemExit(f"error: no FASTA records in "
+                             f"{args.reference}")
+        variants = read_vcf(args.vcf) if args.vcf else ()
+        refs = as_reference_set(records, variants,
+                                max_node_length=args.max_node_length)
+    # Per-contig node ranges shard the scan (parallel construction).
+    ranges = [
+        (refs._contigs[i].node_base, refs._contigs[i].node_end)
+        for i in range(len(refs))
+    ]
+    index = build_flat_index(
+        refs.graph, w=args.w, k=args.k,
+        bucket_bits=args.bucket_bits, jobs=args.jobs,
+        node_ranges=ranges,
+    )
+    write_index_artifact(args.output, refs, index)
+    size = args.output.stat().st_size
+    print(f"wrote {args.output}: {len(refs)} contigs, "
+          f"{refs.graph.total_sequence_length} bases, "
+          f"{index.distinct_minimizers} minimizers, "
+          f"{index.total_locations} locations ({size} bytes)")
+    return 0
+
+
+def cmd_index_inspect(args: argparse.Namespace) -> int:
+    """``repro index inspect ref.sgidx``: artifact layout report."""
+    from repro.io.artifact import ArtifactError, load_index_artifact
+
+    try:
+        loaded = load_index_artifact(args.artifact)
+    except ArtifactError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    index = loaded.index
+    layout = index.layout()
+    print(f"artifact {args.artifact}: "
+          f"<w={index.w},k={index.k}> scoring={index.scoring}")
+    rows = [
+        {"level": "1 (buckets)", "entries": layout.bucket_count,
+         "bytes": layout.first_level_bytes},
+        {"level": "2 (minimizers)",
+         "entries": layout.distinct_minimizers,
+         "bytes": layout.second_level_bytes},
+        {"level": "3 (locations)", "entries": layout.total_locations,
+         "bytes": layout.third_level_bytes},
+        {"level": "total", "entries": None,
+         "bytes": layout.total_bytes},
+    ]
+    print(format_table(rows, title="three-level index (paper Fig. 6)"))
+    print(format_table(
+        [{"contig": name, "length": length}
+         for name, length in loaded.refs.sam_contigs()],
+        title="contigs"))
+    return 0
+
+
 def cmd_map(args: argparse.Namespace) -> int:
     if args.cache_size < 0:
         raise SystemExit("error: --cache-size must be >= 0 "
@@ -214,11 +343,21 @@ def cmd_map(args: argparse.Namespace) -> int:
             default_backend_name()
         except ValueError as exc:
             raise SystemExit(f"error: {exc}") from None
-    ref_records = read_fasta(args.reference)
-    if not ref_records:
-        raise SystemExit(f"error: no FASTA records in "
-                         f"{args.reference}")
-    variants = read_vcf(args.vcf) if args.vcf else []
+    from repro.io.artifact import ArtifactError, is_index_artifact
+
+    index_path = args.index
+    if index_path is None and args.reference is not None \
+            and is_index_artifact(args.reference):
+        index_path = args.reference
+    if index_path is None and args.reference is None:
+        raise SystemExit("error: provide --reference or --index")
+    if index_path is not None and args.vcf is not None:
+        raise SystemExit("error: --vcf cannot be combined with a "
+                         "pre-built --index artifact (variants are "
+                         "baked in at 'repro index build' time)")
+    if args.pool == "persistent" and index_path is None:
+        raise SystemExit("error: --pool persistent requires --index "
+                         "(workers attach to the artifact by path)")
     config = SeGraMConfig(
         w=args.w, k=args.k, bucket_bits=args.bucket_bits,
         error_rate=args.error_rate,
@@ -241,14 +380,38 @@ def cmd_map(args: argparse.Namespace) -> int:
             insert_std=args.insert_std,
             rescue=not args.no_mate_rescue,
         )
-    mapper = Mapper(ref_records, variants, config=config,
-                    pair_config=pair_config,
-                    max_node_length=4_096)
+    if index_path is not None:
+        try:
+            mapper = Mapper.from_artifact(index_path, config=config,
+                                          pair_config=pair_config)
+        except ArtifactError as exc:
+            raise SystemExit(f"error: {exc}") from None
+    else:
+        ref_records = read_fasta(args.reference)
+        if not ref_records:
+            raise SystemExit(f"error: no FASTA records in "
+                             f"{args.reference}")
+        variants = read_vcf(args.vcf) if args.vcf else []
+        mapper = Mapper(ref_records, variants, config=config,
+                        pair_config=pair_config,
+                        max_node_length=4_096)
+    pool = mapper.pool(args.jobs) if args.pool == "persistent" \
+        else None
+    try:
+        return _map_reads(args, mapper, pool)
+    finally:
+        if pool is not None:
+            pool.close()
+
+
+def _map_reads(args: argparse.Namespace, mapper: Mapper,
+               pool=None) -> int:
+    """The mapping half of ``cmd_map`` (mapper already constructed)."""
     if args.paired is not None:
-        return _map_paired(args, mapper)
+        return _map_paired(args, mapper, pool)
     out_format = args.format or "gaf"
     reads = _load_reads(args.reads)
-    records = mapper.map_batch(reads, jobs=args.jobs)
+    records = mapper.map_batch(reads, jobs=args.jobs, pool=pool)
     results = [(record, seq)
                for record, (_, seq) in zip(records, reads)]
     mapped = sum(1 for r, _ in results if r.mapped)
@@ -293,7 +456,8 @@ def _print_contig_rows(mapper: Mapper,
     print(format_table(rows, title="per-contig"))
 
 
-def _map_paired(args: argparse.Namespace, mapper: Mapper) -> int:
+def _map_paired(args: argparse.Namespace, mapper: Mapper,
+                pool=None) -> int:
     """The ``map --paired`` flow: FR pairs to pair-aware SAM.
 
     The insert-size model (``--insert-mean``/``--insert-std``/
@@ -309,7 +473,7 @@ def _map_paired(args: argparse.Namespace, mapper: Mapper) -> int:
     pairs = [(name, r1.upper(), r2.upper())
              for name, r1, r2 in read_mate_pairs(args.reads,
                                                  args.paired)]
-    records = mapper.map_pairs(pairs, jobs=args.jobs)
+    records = mapper.map_pairs(pairs, jobs=args.jobs, pool=pool)
     sam = []
     flat: "list[MappingRecord]" = []
     proper_by_contig: dict[str, int] = {}

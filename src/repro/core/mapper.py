@@ -350,6 +350,7 @@ class SeGraM:
         cls,
         refs: "ReferenceSet",
         config: SeGraMConfig | None = None,
+        index: HashTableIndex | None = None,
     ) -> "SeGraM":
         """Build over a multi-contig :class:`~repro.refs.ReferenceSet`.
 
@@ -358,9 +359,12 @@ class SeGraM:
         every mapped result carries ``(contig, contig-local
         position)`` coordinates.  A single-contig set reproduces
         :meth:`from_reference` bit for bit (modulo the ``contig``
-        annotation).
+        annotation).  ``index`` skips the in-process index build —
+        e.g. a :class:`~repro.index.FlatIndex` attached from an
+        artifact (:mod:`repro.io.artifact`), which implements the same
+        query contract.
         """
-        return cls(refs.graph, config=config, refs=refs)
+        return cls(refs.graph, config=config, refs=refs, index=index)
 
     # ------------------------------------------------------------------
     # Mapping
@@ -385,17 +389,20 @@ class SeGraM:
         return self.map_batch(reads, jobs=jobs)
 
     def map_batch(self, reads: Iterable[tuple[str, str]],
-                  jobs: int = 1) -> list[MappingResult]:
+                  jobs: int = 1, pool=None) -> list[MappingResult]:
         """Map a batch of (name, sequence) pairs, optionally sharded
         across ``jobs`` worker processes.
 
         The index is built once here and shared with the workers via
         ``fork`` (copy-on-write); per-shard stage statistics are merged
-        into ``self.pipeline.stats``.  Results are returned in input
-        order and are identical to calling :meth:`map_read` per read —
-        the batch/sequential parity contract the tests enforce.
+        into ``self.pipeline.stats``.  A
+        :class:`~repro.core.pipeline.PersistentPool` dispatches the
+        shards to standing artifact-attached workers instead (``jobs``
+        is then ignored).  Results are returned in input order and are
+        identical to calling :meth:`map_read` per read — the
+        batch/sequential parity contract the tests enforce.
         """
-        return map_batch_sharded(self, list(reads), jobs)
+        return map_batch_sharded(self, list(reads), jobs, pool=pool)
 
     # ------------------------------------------------------------------
     # Paired-end mapping

@@ -741,15 +741,18 @@ class PairedEndMapper:
     # ------------------------------------------------------------------
 
     def map_pairs(self, pairs: Sequence[tuple[str, str, str]],
-                  jobs: int = 1) -> list[PairResult]:
+                  jobs: int = 1, pool=None) -> list[PairResult]:
         """Map ``(name, read1, read2)`` pairs, optionally sharded.
 
         ``jobs > 1`` forks worker processes exactly like
         ``SeGraM.map_batch`` — the index (and spelled reference) are
         shared copy-on-write, per-shard statistics merge back, and
-        results are identical to the sequential loop.
+        results are identical to the sequential loop.  A
+        :class:`~repro.core.pipeline.PersistentPool` serves the shards
+        from standing artifact-attached workers instead (same
+        results).
         """
-        return map_pairs_sharded(self, list(pairs), jobs)
+        return map_pairs_sharded(self, list(pairs), jobs, pool=pool)
 
 
 # ----------------------------------------------------------------------
@@ -782,8 +785,9 @@ class _PairShardContext(ShardContext):
 
 def map_pairs_sharded(pair_mapper: "PairedEndMapper",
                       pairs: Sequence[tuple[str, str, str]],
-                      jobs: int) -> list[PairResult]:
-    """Shard ``pairs`` across ``jobs`` forked workers via the shared
-    shard runner (:func:`repro.core.pipeline.run_sharded`): identical
-    results to sequential mapping, stats merged back."""
-    return run_sharded(_PairShardContext(pair_mapper), pairs, jobs)
+                      jobs: int, pool=None) -> list[PairResult]:
+    """Shard ``pairs`` across workers via the shared shard runner
+    (:func:`repro.core.pipeline.run_sharded`): identical results to
+    sequential mapping, stats merged back."""
+    return run_sharded(_PairShardContext(pair_mapper), pairs, jobs,
+                       pool=pool, mode="pairs")

@@ -956,6 +956,20 @@ class ShardContext:
         raise NotImplementedError
 
 
+def shard_items(items: Sequence, jobs: int) -> list:
+    """Split ``items`` into at most ``jobs`` contiguous shards.
+
+    The one shard-boundary rule shared by the fork-per-batch path and
+    the persistent pool, so the two modes hand workers byte-identical
+    work lists (and therefore produce identical results *and*
+    identical per-shard statistics).
+    """
+    jobs = max(1, min(jobs, len(items)))
+    chunk = math.ceil(len(items) / jobs)
+    return [items[i * chunk:(i + 1) * chunk] for i in range(jobs)
+            if items[i * chunk:(i + 1) * chunk]]
+
+
 _WORKER_CONTEXT: "ShardContext | None" = None
 
 
@@ -973,19 +987,125 @@ def _shard_worker_run(items):
     return context.map_items(items), context.collect_stats()
 
 
+# ----------------------------------------------------------------------
+# Standing worker pool (artifact-attached)
+# ----------------------------------------------------------------------
+
+_POOL_CONTEXTS = None
+
+
+def _pool_worker_init(factory) -> None:
+    """Pool initializer: build this worker's engine from the factory.
+
+    The factory is picklable (it carries an artifact *path*, not an
+    engine), so the pool works under ``spawn`` as well as ``fork`` —
+    workers never inherit the parent's heap; they attach to the
+    memory-mapped artifact themselves.
+    """
+    global _POOL_CONTEXTS
+    _POOL_CONTEXTS = factory()
+
+
+def _pool_worker_run(payload):
+    mode, items = payload
+    contexts = _POOL_CONTEXTS
+    assert contexts is not None, "persistent pool not initialized"
+    context = contexts.shard_context(mode)
+    context.reset_stats()
+    return context.map_items(items), context.collect_stats()
+
+
+class PersistentPool:
+    """A standing worker pool whose workers own artifact-attached
+    engines.
+
+    The fork-per-``map_batch`` path pays a pool spin-up (and, under
+    ``fork``, a copy-on-write exposure of the whole parent heap) on
+    *every* batch.  A :class:`PersistentPool` pays engine construction
+    once per worker — each worker runs ``factory()`` at start-up,
+    typically :class:`repro.api._ArtifactWorkerFactory` attaching to a
+    memory-mapped ``.sgidx`` artifact by path — and then serves any
+    number of batches, keeping its region cache warm across them.
+
+    The factory must be picklable and return an object with
+    ``shard_context(mode)`` (``mode`` is ``"reads"`` or ``"pairs"``),
+    yielding a :class:`ShardContext` for that payload kind.  Shard
+    boundaries come from :func:`shard_items`, the same rule the fork
+    path uses, so results are identical between the two modes.
+    """
+
+    def __init__(self, factory, jobs: int,
+                 start_method: str | None = None) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        methods = multiprocessing.get_all_start_methods()
+        if start_method is None:
+            start_method = "fork" if "fork" in methods else methods[0]
+        elif start_method not in methods:
+            raise ValueError(
+                f"start method {start_method!r} unavailable; "
+                f"have {methods}"
+            )
+        self.jobs = jobs
+        self.start_method = start_method
+        self._pool = multiprocessing.get_context(start_method).Pool(
+            processes=jobs,
+            initializer=_pool_worker_init,
+            initargs=(factory,),
+        )
+
+    def run(self, items: Sequence, mode: str) -> list:
+        """Map shards of ``items`` across the standing workers.
+
+        Returns the per-shard ``(results, stats payload)`` pairs in
+        shard order; :func:`run_sharded` flattens and merges them.
+        """
+        if self._pool is None:
+            raise RuntimeError("persistent pool is closed")
+        shards = shard_items(items, min(self.jobs, len(items)))
+        return self._pool.map(_pool_worker_run,
+                              [(mode, shard) for shard in shards])
+
+    def close(self) -> None:
+        """Shut the workers down (idempotent)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "PersistentPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
 def run_sharded(context: ShardContext, items: Sequence,
-                jobs: int) -> list:
-    """Shard ``items`` across ``jobs`` forked workers.
+                jobs: int = 1, pool: "PersistentPool | None" = None,
+                mode: str = "reads") -> list:
+    """Shard ``items`` across workers (forked or persistent).
 
     Contiguous shards keep neighbouring items (and therefore their
     overlapping candidate regions) on the same worker's region cache.
-    The parent's index — and any warmth already in its region cache —
-    is shared with the workers copy-on-write via ``fork``; per-shard
-    statistics are merged back through the context.  Results are
-    returned in input order and are identical to a sequential
-    ``map_items`` loop.
+    With ``pool=None`` a throwaway ``fork`` pool shares the parent's
+    index — and any warmth already in its region cache — with the
+    workers copy-on-write; with a :class:`PersistentPool` the standing
+    artifact-attached workers serve the shards (``jobs`` is ignored —
+    the pool's width governs) and only the picklable statistics
+    payloads travel.  Per-shard statistics are merged back through
+    ``context`` either way.  Results are returned in input order and
+    are identical to a sequential ``map_items`` loop — and therefore
+    identical between the two pool modes.
     """
     items = list(items)
+    if pool is not None:
+        if not items:
+            return []
+        results: list = []
+        for shard_results, payload in pool.run(items, mode):
+            results.extend(shard_results)
+            context.merge_stats(payload)
+        return results
     requested = jobs
     jobs = effective_jobs(jobs, len(items))
     if jobs == 1:
@@ -996,15 +1116,13 @@ def run_sharded(context: ShardContext, items: Sequence,
                 RuntimeWarning, stacklevel=3,
             )
         return context.map_items(items)
-    chunk = math.ceil(len(items) / jobs)
-    shards = [items[i * chunk:(i + 1) * chunk] for i in range(jobs)
-              if items[i * chunk:(i + 1) * chunk]]
+    shards = shard_items(items, jobs)
     ctx = multiprocessing.get_context("fork")
     with ctx.Pool(processes=len(shards),
                   initializer=_shard_worker_init,
-                  initargs=(context,)) as pool:
-        outputs = pool.map(_shard_worker_run, shards)
-    results: list = []
+                  initargs=(context,)) as worker_pool:
+        outputs = worker_pool.map(_shard_worker_run, shards)
+    results = []
     for shard_results, payload in outputs:
         results.extend(shard_results)
         context.merge_stats(payload)
@@ -1031,9 +1149,13 @@ class _ReadShardContext(ShardContext):
         self.mapper.pipeline.stats.merge(payload)
 
 
-def map_batch_sharded(mapper: "SeGraM",
-                      reads: Sequence[tuple[str, str]],
-                      jobs: int) -> "list[MappingResult]":
-    """Shard ``reads`` across ``jobs`` forked workers (see
-    :func:`run_sharded` for the sharing/merging contract)."""
-    return run_sharded(_ReadShardContext(mapper), reads, jobs)
+def map_batch_sharded(
+    mapper: "SeGraM",
+    reads: Sequence[tuple[str, str]],
+    jobs: int,
+    pool: "PersistentPool | None" = None,
+) -> "list[MappingResult]":
+    """Shard ``reads`` across workers (see :func:`run_sharded` for
+    the sharing/merging contract and the two pool modes)."""
+    return run_sharded(_ReadShardContext(mapper), reads, jobs,
+                       pool=pool, mode="reads")

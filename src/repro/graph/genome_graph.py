@@ -136,6 +136,35 @@ class GenomeGraph:
             self._in[dst].append(src)
 
     @classmethod
+    def _restore(
+        cls,
+        name: str,
+        sequences: list[str],
+        out_edges: list[list[int]],
+    ) -> "GenomeGraph":
+        """Rebuild a graph from trusted, pre-validated parts.
+
+        Fast path for artifact loading (:mod:`repro.io.artifact`): the
+        sequences were validated ACGT at original construction and the
+        checksummed artifact preserves them, so re-validating every
+        base (and re-deduplicating every edge) would only slow down
+        the O(ms) attach.  In-edge lists are derived, not stored.
+        """
+        if len(out_edges) != len(sequences):
+            raise GraphError(
+                f"edge lists for {len(out_edges)} nodes but "
+                f"{len(sequences)} sequences"
+            )
+        graph = cls(name=name)
+        graph._sequences = sequences
+        graph._out = out_edges
+        graph._in = [[] for _ in sequences]
+        for src, dsts in enumerate(out_edges):
+            for dst in dsts:
+                graph._in[dst].append(src)
+        return graph
+
+    @classmethod
     def from_linear(cls, sequence: str, name: str = "linear",
                     node_length: int = 0) -> "GenomeGraph":
         """Build the chain graph of a linear reference.

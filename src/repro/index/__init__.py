@@ -18,6 +18,7 @@ from repro.index.hash_index import (
     SeedHit,
     build_index,
 )
+from repro.index.flat_index import FlatIndex, build_flat_index
 from repro.index.occurrence import frequency_threshold
 
 __all__ = [
@@ -29,5 +30,7 @@ __all__ = [
     "IndexLayout",
     "SeedHit",
     "build_index",
+    "FlatIndex",
+    "build_flat_index",
     "frequency_threshold",
 ]

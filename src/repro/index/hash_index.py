@@ -21,7 +21,7 @@ bucket width.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import Iterator, Mapping, Sequence
 
 from repro.graph.genome_graph import GenomeGraph
 from repro.index.minimizer import Scoring, minimizers
@@ -163,6 +163,15 @@ class HashTableIndex:
             minimizers_scanned=scanned,
             locations_fetched=len(hits),
         )
+
+    def iter_entries(self) -> Iterator[tuple[int, tuple[SeedHit, ...]]]:
+        """Yield every ``(hash, sorted seed hits)`` catalog entry.
+
+        The full index contents in a stable, query-free form — used by
+        :meth:`repro.index.FlatIndex.from_hash_index` to flatten the
+        dict catalog into the array layout.
+        """
+        yield from self._catalog.items()
 
     # ------------------------------------------------------------------
     # Statistics / layout

@@ -17,8 +17,20 @@ from repro.io.fasta import (
 from repro.io.vcf import VcfRecord, read_vcf, write_vcf
 from repro.io.sam import SamRecord, read_sam, result_to_sam, write_sam
 from repro.io.gaf import GafRecord, read_gaf, result_to_gaf, write_gaf
+from repro.io.artifact import (
+    ArtifactError,
+    LoadedArtifact,
+    is_index_artifact,
+    load_index_artifact,
+    write_index_artifact,
+)
 
 __all__ = [
+    "ArtifactError",
+    "LoadedArtifact",
+    "is_index_artifact",
+    "load_index_artifact",
+    "write_index_artifact",
     "FastaRecord",
     "FastqRecord",
     "read_fasta",

@@ -1,13 +1,17 @@
 """Minimal FASTA/FASTQ reading and writing.
 
 Only the features needed by the mapping pipeline are implemented:
-multi-record files, multi-line sequences, and description handling.
-Parsing is strict — malformed records raise :class:`FastaFormatError`
-rather than being silently skipped.
+multi-record files, multi-line sequences, description handling, and
+transparent gzip decompression of ``.gz`` inputs (detected by the
+gzip magic bytes or the extension).  Line endings may be Unix or
+Windows (CRLF) — the ``\\r`` never reaches names, descriptions,
+sequences, or quality strings.  Parsing is strict — malformed records
+raise :class:`FastaFormatError` rather than being silently skipped.
 """
 
 from __future__ import annotations
 
+import gzip
 import io
 from dataclasses import dataclass
 from pathlib import Path
@@ -52,9 +56,27 @@ class FastqRecord:
         return len(self.sequence)
 
 
+#: The two magic bytes every gzip stream starts with (RFC 1952).
+_GZIP_MAGIC = b"\x1f\x8b"
+
+
+def _is_gzip(path: Path) -> bool:
+    """Whether a file is gzip-compressed (magic bytes, else ``.gz``)."""
+    try:
+        with open(path, "rb") as probe:
+            if probe.read(2) == _GZIP_MAGIC:
+                return True
+    except OSError:
+        pass
+    return path.suffix == ".gz"
+
+
 def _open_for_read(source: PathOrHandle):
     if isinstance(source, (str, Path)):
-        return open(source, "r", encoding="ascii"), True
+        path = Path(source)
+        if _is_gzip(path):
+            return gzip.open(path, "rt", encoding="ascii"), True
+        return open(path, "r", encoding="ascii"), True
     return source, False
 
 
@@ -65,10 +87,19 @@ def _open_for_write(target: PathOrHandle):
 
 
 def _split_header(line: str) -> tuple[str, str]:
+    """Split a ``>``/``@`` header into (name, description).
+
+    The identifier ends at the first whitespace of *any* kind — real
+    FASTA/FASTQ headers separate the description with tabs as often
+    as spaces, and a tab swallowed into the name would later corrupt
+    tab-delimited SAM columns.
+    """
     body = line[1:].strip()
     if not body:
         raise FastaFormatError("record header has no identifier")
-    name, _, description = body.partition(" ")
+    parts = body.split(maxsplit=1)
+    name = parts[0]
+    description = parts[1] if len(parts) > 1 else ""
     return name, description
 
 
@@ -80,7 +111,7 @@ def iter_fasta(source: PathOrHandle) -> Iterator[FastaRecord]:
         description = ""
         chunks: list[str] = []
         for raw in handle:
-            line = raw.rstrip("\n")
+            line = raw.rstrip("\r\n")
             if not line:
                 continue
             if line.startswith(">"):
@@ -137,17 +168,17 @@ def iter_fastq(source: PathOrHandle) -> Iterator[FastqRecord]:
             header = handle.readline()
             if not header:
                 return
-            header = header.rstrip("\n")
+            header = header.rstrip("\r\n")
             if not header:
                 continue
             if not header.startswith("@"):
                 raise FastaFormatError(
                     f"expected '@' header, found {header[:20]!r}"
                 )
-            name, _, description = header[1:].partition(" ")
-            sequence = handle.readline().rstrip("\n")
-            plus = handle.readline().rstrip("\n")
-            quality = handle.readline().rstrip("\n")
+            name, description = _split_header(header)
+            sequence = handle.readline().rstrip("\r\n")
+            plus = handle.readline().rstrip("\r\n")
+            quality = handle.readline().rstrip("\r\n")
             if not plus.startswith("+"):
                 raise FastaFormatError(
                     f"record {name!r}: expected '+' separator, found "
@@ -215,13 +246,13 @@ def read_sequences(source: PathOrHandle) -> list[tuple[str, str]]:
     Format detection: a leading ``@`` means FASTQ, anything else is
     parsed as FASTA (matching the ``map`` CLI's sniffing).
     """
-    if isinstance(source, (str, Path)):
-        text = Path(source).read_text(encoding="ascii")
-        handle: TextIO = io.StringIO(text)
-    else:
-        handle = source
+    handle, owned = _open_for_read(source)
+    try:
         text = handle.read()
-        handle = io.StringIO(text)
+    finally:
+        if owned:
+            handle.close()
+    handle = io.StringIO(text)
     if text.lstrip().startswith("@"):
         return [(r.name, r.sequence) for r in read_fastq(handle)]
     return [(r.name, r.sequence) for r in read_fasta(handle)]

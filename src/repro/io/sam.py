@@ -113,6 +113,23 @@ class SamRecord:
         return bool(self.flag & FLAG_SECOND_IN_PAIR)
 
 
+def _checked_name(value: str, column: str, read_name: str) -> str:
+    """Reject QNAME/RNAME values that would corrupt the tab-delimited
+    columns (or, for spaces, violate the SAM name grammar).
+
+    Names normally arrive clean — the FASTA/FASTQ readers split
+    headers on any whitespace — but results constructed directly can
+    carry anything, and an embedded tab silently shifts every
+    downstream column.
+    """
+    if not value or any(c.isspace() for c in value):
+        raise SamFormatError(
+            f"read {read_name!r}: {column} {value!r} is empty or "
+            "contains whitespace (would corrupt tab-delimited SAM)"
+        )
+    return value
+
+
 def _oriented_seq(result: "MappingResult", read: str) -> str:
     """SEQ in SAM orientation: reverse complement for '-' mappings."""
     if result.mapped and result.strand == "-":
@@ -141,7 +158,8 @@ def result_to_sam(result: "MappingResult", read: str,
     """
     if not result.mapped:
         return SamRecord(
-            qname=result.read_name,
+            qname=_checked_name(result.read_name, "QNAME",
+                                result.read_name),
             flag=FLAG_UNMAPPED | flag_extra, rname="*",
             pos=0, mapq=0, cigar="*", seq=read,
             pair_category=pair_category,
@@ -161,9 +179,10 @@ def result_to_sam(result: "MappingResult", read: str,
     if mapq is None:
         mapq = result.mapq
     return SamRecord(
-        qname=result.read_name,
+        qname=_checked_name(result.read_name, "QNAME",
+                            result.read_name),
         flag=flag,
-        rname=rname,
+        rname=_checked_name(rname, "RNAME", result.read_name),
         pos=result.linear_position + 1,
         mapq=mapq,
         cigar=str(result.cigar),

@@ -212,6 +212,33 @@ class ReferenceSet:
         self._contigs.append(placed)
 
     @classmethod
+    def _restore(
+        cls,
+        graph: GenomeGraph,
+        contigs: Sequence[_BuiltContig],
+        max_node_length: int = 0,
+    ) -> "ReferenceSet":
+        """Rewire a reference set around pre-built parts.
+
+        Fast path for artifact loading (:mod:`repro.io.artifact`): the
+        combined graph and the per-contig placement tables were
+        computed by a normal construction before serialization, so
+        re-running :meth:`_append` (which re-validates and re-copies
+        every node sequence) would defeat the O(ms) attach.
+        """
+        refs = cls.__new__(cls)
+        refs.max_node_length = max_node_length
+        refs.graph = graph
+        refs._contigs = list(contigs)
+        refs._by_name = {
+            placed.contig.name: i
+            for i, placed in enumerate(refs._contigs)
+        }
+        refs._node_bases = [c.node_base for c in refs._contigs]
+        refs._char_starts = [c.char_start for c in refs._contigs]
+        return refs
+
+    @classmethod
     def from_records(
         cls,
         records: Sequence[tuple[str, str]],

@@ -294,3 +294,133 @@ class TestModel:
     def test_missing_command_errors(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestIndexArtifact:
+    """``repro index build`` / ``inspect`` and ``repro map --index``."""
+
+    def test_build_then_map_matches_in_memory(self, workspace,
+                                              capsys):
+        root, *_ = workspace
+        code = main([
+            "index", "build", str(root / "ref.fa"),
+            "--vcf", str(root / "vars.vcf"),
+            "-o", str(root / "ref.sgidx"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out and "minimizers" in out
+        main([
+            "map", "--reference", str(root / "ref.fa"),
+            "--vcf", str(root / "vars.vcf"),
+            "--reads", str(root / "reads.fq"),
+            "--output", str(root / "mem.sam"), "--format", "sam",
+        ])
+        code = main([
+            "map", "--index", str(root / "ref.sgidx"),
+            "--reads", str(root / "reads.fq"),
+            "--output", str(root / "idx.sam"), "--format", "sam",
+        ])
+        assert code == 0
+        assert (root / "idx.sam").read_bytes() == \
+            (root / "mem.sam").read_bytes()
+
+    def test_artifact_autodetected_as_reference(self, workspace,
+                                                capsys):
+        root, *_ = workspace
+        main(["index", "build", str(root / "ref.fa"),
+              "--vcf", str(root / "vars.vcf"),
+              "-o", str(root / "auto.sgidx")])
+        capsys.readouterr()
+        code = main([
+            "map", "--reference", str(root / "auto.sgidx"),
+            "--reads", str(root / "reads.fq"),
+            "--output", str(root / "auto.gaf"),
+        ])
+        assert code == 0
+        assert "mapped 3/3" in capsys.readouterr().out
+
+    def test_persistent_pool_matches_fork(self, workspace, capsys):
+        root, *_ = workspace
+        main(["index", "build", str(root / "ref.fa"),
+              "--vcf", str(root / "vars.vcf"),
+              "-o", str(root / "pool.sgidx")])
+        for mode, name in (("fork", "fork.sam"),
+                           ("persistent", "pool.sam")):
+            code = main([
+                "map", "--index", str(root / "pool.sgidx"),
+                "--reads", str(root / "reads.fq"),
+                "--output", str(root / name), "--format", "sam",
+                "--jobs", "2", "--pool", mode,
+            ])
+            assert code == 0
+        assert (root / "pool.sam").read_bytes() == \
+            (root / "fork.sam").read_bytes()
+
+    def test_build_from_gfa_and_parallel_jobs(self, workspace,
+                                              capsys, tmp_path):
+        root, *_ = workspace
+        main(["construct", "--reference", str(root / "ref.fa"),
+              "--vcf", str(root / "vars.vcf"),
+              "--output", str(tmp_path / "graph.gfa")])
+        code = main([
+            "index", "build", str(tmp_path / "graph.gfa"),
+            "-o", str(tmp_path / "graph.sgidx"), "--jobs", "2",
+        ])
+        assert code == 0
+        capsys.readouterr()
+        code = main([
+            "map", "--index", str(tmp_path / "graph.sgidx"),
+            "--reads", str(root / "reads.fq"),
+            "--output", str(tmp_path / "graph.gaf"),
+        ])
+        assert code == 0
+        assert "mapped 3/3" in capsys.readouterr().out
+
+    def test_inspect_reports_three_levels(self, workspace, capsys):
+        root, *_ = workspace
+        main(["index", "build", str(root / "ref.fa"),
+              "-o", str(root / "inspect.sgidx")])
+        capsys.readouterr()
+        code = main(["index", "inspect", str(root / "inspect.sgidx")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "paper Fig. 6" in out
+        assert "buckets" in out and "locations" in out
+        assert "chr1" in out
+
+    def test_inspect_rejects_corrupt_artifact(self, workspace,
+                                              tmp_path):
+        bad = tmp_path / "bad.sgidx"
+        bad.write_bytes(b"not an artifact at all, far too short")
+        with pytest.raises(SystemExit, match="error"):
+            main(["index", "inspect", str(bad)])
+
+    def test_map_requires_reference_or_index(self, workspace):
+        root, *_ = workspace
+        with pytest.raises(SystemExit,
+                           match="--reference or --index"):
+            main(["map", "--reads", str(root / "reads.fq"),
+                  "--output", str(root / "x.gaf")])
+
+    def test_vcf_with_index_rejected(self, workspace):
+        root, *_ = workspace
+        main(["index", "build", str(root / "ref.fa"),
+              "-o", str(root / "novcf.sgidx")])
+        with pytest.raises(SystemExit, match="--vcf"):
+            main(["map", "--index", str(root / "novcf.sgidx"),
+                  "--vcf", str(root / "vars.vcf"),
+                  "--reads", str(root / "reads.fq"),
+                  "--output", str(root / "x.gaf")])
+
+    def test_persistent_pool_requires_index(self, workspace):
+        root, *_ = workspace
+        with pytest.raises(SystemExit, match="persistent"):
+            main(["map", "--reference", str(root / "ref.fa"),
+                  "--reads", str(root / "reads.fq"),
+                  "--output", str(root / "x.gaf"),
+                  "--pool", "persistent"])
+
+    def test_index_without_subcommand_or_graph_errors(self):
+        with pytest.raises(SystemExit):
+            main(["index"])

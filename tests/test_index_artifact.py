@@ -1,0 +1,379 @@
+"""Tests for the flat index, ``.sgidx`` artifacts, and worker pools.
+
+Covers the zero-copy artifact contract end to end:
+
+* :class:`~repro.index.FlatIndex` parity with the dict-catalog
+  :class:`~repro.index.HashTableIndex` on every query of the
+  ``frequency`` / ``lookup`` / ``lookup_cost`` / ``layout`` contract;
+* artifact round trip (build -> write -> mmap attach) with
+  bit-identical mapping results, and version/checksum rejection of
+  corrupt, truncated, or stale artifacts;
+* fork-shard vs persistent-pool result identity under
+  ``jobs in {1, 2, 4}`` for single-end batches and pairs.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro import seq as seqmod
+from repro.api import Mapper
+from repro.core.mapper import SeGraMConfig
+from repro.index.flat_index import FlatIndex, build_flat_index
+from repro.index.hash_index import build_index
+from repro.io.artifact import (
+    FORMAT_VERSION,
+    HEADER_SIZE,
+    MAGIC,
+    ArtifactError,
+    is_index_artifact,
+    load_index_artifact,
+    pack_bases,
+    unpack_bases,
+)
+
+CONFIG = SeGraMConfig(w=5, k=11, bucket_bits=10)
+
+
+@pytest.fixture(scope="module")
+def reference():
+    rng = random.Random(1234)
+    seq1 = "".join(rng.choice("ACGT") for _ in range(5_000))
+    seq2 = "".join(rng.choice("ACGT") for _ in range(2_500))
+    return [("chrA", seq1), ("chrB", seq2)]
+
+
+@pytest.fixture(scope="module")
+def mapper(reference):
+    return Mapper(reference, config=CONFIG, max_node_length=512)
+
+
+@pytest.fixture(scope="module")
+def reads(reference):
+    rng = random.Random(77)
+    out = []
+    for i, (_, seq) in enumerate(reference * 10):
+        start = rng.randrange(0, len(seq) - 120)
+        read = seq[start:start + 120]
+        if i % 3 == 0:
+            read = seqmod.reverse_complement(read)
+        out.append((f"r{i}", read))
+    return out
+
+
+@pytest.fixture()
+def artifact(mapper, tmp_path):
+    path = tmp_path / "ref.sgidx"
+    mapper.save_index(path)
+    return path
+
+
+class TestPackBases:
+    def test_roundtrip(self):
+        rng = random.Random(5)
+        for length in (0, 1, 3, 4, 5, 63, 64, 257):
+            text = "".join(rng.choice("ACGT") for _ in range(length))
+            assert unpack_bases(pack_bases(text), length) == text
+
+    def test_density(self):
+        assert len(pack_bases("A" * 100)) == 25
+
+    def test_non_acgt_rejected(self):
+        with pytest.raises(ArtifactError):
+            pack_bases("ACGN")
+
+
+class TestFlatIndexParity:
+    """FlatIndex must match the dict index bit for bit."""
+
+    @pytest.fixture(scope="class")
+    def indexes(self, mapper):
+        dict_index = build_index(mapper.graph, w=CONFIG.w, k=CONFIG.k,
+                                 bucket_bits=CONFIG.bucket_bits)
+        return dict_index, FlatIndex.from_hash_index(dict_index)
+
+    def test_present_hashes(self, indexes):
+        dict_index, flat = indexes
+        for hash_value, hits in dict_index.iter_entries():
+            assert flat.frequency(hash_value) == \
+                dict_index.frequency(hash_value)
+            assert flat.lookup(hash_value) == hits
+            assert flat.lookup_cost(hash_value) == \
+                dict_index.lookup_cost(hash_value)
+
+    def test_absent_hashes(self, indexes):
+        dict_index, flat = indexes
+        rng = random.Random(9)
+        probes = [0, 1, 2**22 - 1, 2**60 + 13] + \
+            [rng.randrange(2**CONFIG.k * 2) for _ in range(200)]
+        for hash_value in probes:
+            assert flat.frequency(hash_value) == \
+                dict_index.frequency(hash_value)
+            assert flat.lookup(hash_value) == \
+                dict_index.lookup(hash_value)
+            assert flat.lookup_cost(hash_value) == \
+                dict_index.lookup_cost(hash_value)
+
+    def test_layout_across_bucket_widths(self, indexes):
+        dict_index, flat = indexes
+        for bits in (4, 8, 10, 14, 18):
+            assert flat.layout(bits) == dict_index.layout(bits)
+
+    def test_statistics(self, indexes):
+        dict_index, flat = indexes
+        assert flat.distinct_minimizers == \
+            dict_index.distinct_minimizers
+        assert flat.total_locations == dict_index.total_locations
+        assert sorted(flat.frequencies()) == \
+            sorted(dict_index.frequencies())
+
+    def test_direct_build_matches_flattened(self, mapper, indexes):
+        _, flat = indexes
+        direct = build_flat_index(mapper.graph, w=CONFIG.w,
+                                  k=CONFIG.k,
+                                  bucket_bits=CONFIG.bucket_bits)
+        for name in ("bucket_starts", "min_hash", "min_loc_start",
+                     "min_loc_count", "loc_node", "loc_offset"):
+            assert np.array_equal(getattr(direct, name),
+                                  getattr(flat, name)), name
+
+    def test_parallel_build_matches_sequential(self, mapper, indexes):
+        _, flat = indexes
+        ranges = [(c.node_base, c.node_end)
+                  for c in mapper.reference._contigs]
+        parallel = build_flat_index(
+            mapper.graph, w=CONFIG.w, k=CONFIG.k,
+            bucket_bits=CONFIG.bucket_bits, jobs=2,
+            node_ranges=ranges,
+        )
+        for name in ("bucket_starts", "min_hash", "min_loc_start",
+                     "min_loc_count", "loc_node", "loc_offset"):
+            assert np.array_equal(getattr(parallel, name),
+                                  getattr(flat, name)), name
+
+    def test_empty_index(self):
+        flat = FlatIndex.from_occurrences(
+            np.zeros(0, dtype=np.uint64), np.zeros(0, dtype=np.uint32),
+            np.zeros(0, dtype=np.uint32), w=5, k=11, bucket_bits=6,
+        )
+        assert flat.frequency(42) == 0
+        assert flat.lookup(42) == ()
+        assert flat.lookup_cost(42).minimizers_scanned == 0
+        assert flat.layout().distinct_minimizers == 0
+
+
+class TestArtifactRoundTrip:
+    def test_magic_sniffer(self, artifact, tmp_path):
+        assert is_index_artifact(artifact)
+        other = tmp_path / "not.sgidx"
+        other.write_bytes(b"definitely not an artifact")
+        assert not is_index_artifact(other)
+        assert not is_index_artifact(tmp_path / "missing")
+
+    def test_attach_preserves_reference(self, mapper, artifact):
+        attached = Mapper.from_artifact(artifact)
+        assert attached.contigs == mapper.contigs
+        assert attached.reference.names == mapper.reference.names
+        assert attached.reference.char_spans() == \
+            mapper.reference.char_spans()
+        assert attached.graph.node_count == mapper.graph.node_count
+        assert attached.graph.edge_count == mapper.graph.edge_count
+        for node in range(mapper.graph.node_count):
+            assert attached.graph.sequence_of(node) == \
+                mapper.graph.sequence_of(node)
+            assert attached.graph.successors(node) == \
+                mapper.graph.successors(node)
+
+    def test_attach_index_is_memory_mapped(self, artifact):
+        attached = Mapper.from_artifact(artifact)
+        index = attached.engine.index
+        assert isinstance(index, FlatIndex)
+        base = index.min_hash
+        while isinstance(base, np.ndarray) and \
+                not isinstance(base, np.memmap):
+            base = base.base
+        assert isinstance(base, np.memmap)
+        assert not index.min_hash.flags.writeable
+        with pytest.raises((ValueError, RuntimeError)):
+            index.min_hash[0] = 0  # read-only pages
+
+    def test_mapping_parity(self, mapper, artifact, reads):
+        attached = Mapper.from_artifact(artifact)
+        assert attached.map_batch(list(reads)) == \
+            mapper.map_batch(list(reads))
+
+    def test_pair_parity(self, mapper, artifact, reference):
+        rng = random.Random(31)
+        seq = reference[0][1]
+        pairs = []
+        for i in range(8):
+            start = rng.randrange(0, len(seq) - 400)
+            pairs.append((
+                f"p{i}", seq[start:start + 100],
+                seqmod.reverse_complement(
+                    seq[start + 250:start + 350]),
+            ))
+        attached = Mapper.from_artifact(artifact)
+        assert attached.map_pairs(list(pairs)) == \
+            mapper.map_pairs(list(pairs))
+
+    def test_params_override_config(self, artifact):
+        attached = Mapper.from_artifact(
+            artifact, config=SeGraMConfig(w=99, k=31, bucket_bits=4))
+        assert attached.engine.config.w == CONFIG.w
+        assert attached.engine.config.k == CONFIG.k
+        assert attached.engine.config.bucket_bits == \
+            CONFIG.bucket_bits
+
+    def test_graph_backed_contig(self, tmp_path):
+        from repro.graph.genome_graph import GenomeGraph
+
+        graph = GenomeGraph(name="toy")
+        a = graph.add_node("ACGTACGTACGTACGTACGT")
+        b = graph.add_node("TTTT")
+        c = graph.add_node("GGGGCCCCAAAATTTTGGGG")
+        graph.add_edge(a, b)
+        graph.add_edge(b, c)
+        graph.add_edge(a, c)
+        original = Mapper(graph, config=SeGraMConfig(
+            w=3, k=5, bucket_bits=8))
+        path = tmp_path / "g.sgidx"
+        original.save_index(path)
+        attached = Mapper.from_artifact(path)
+        reads = [("x", "ACGTACGTTTTTGGGGCCCC"),
+                 ("y", "GGGGCCCCAAAATTTT")]
+        assert attached.map_batch(list(reads)) == \
+            original.map_batch(list(reads))
+        assert attached.contigs == original.contigs
+
+
+class TestArtifactRejection:
+    """Corrupt, truncated, or stale artifacts must be refused."""
+
+    def test_bad_magic(self, artifact):
+        data = bytearray(artifact.read_bytes())
+        data[0] ^= 0xFF
+        artifact.write_bytes(bytes(data))
+        with pytest.raises(ArtifactError, match="magic"):
+            load_index_artifact(artifact)
+
+    def test_stale_version(self, artifact):
+        data = bytearray(artifact.read_bytes())
+        # The u16 format version sits right after the 6-byte magic.
+        version = FORMAT_VERSION + 1
+        data[len(MAGIC):len(MAGIC) + 2] = version.to_bytes(2, "little")
+        artifact.write_bytes(bytes(data))
+        with pytest.raises(ArtifactError, match="rebuild"):
+            load_index_artifact(artifact)
+
+    def test_corrupt_payload(self, artifact):
+        data = bytearray(artifact.read_bytes())
+        data[HEADER_SIZE + len(data) // 2] ^= 0x01
+        artifact.write_bytes(bytes(data))
+        with pytest.raises(ArtifactError, match="checksum"):
+            load_index_artifact(artifact)
+
+    def test_truncated_payload(self, artifact):
+        data = artifact.read_bytes()
+        artifact.write_bytes(data[:len(data) - 64])
+        with pytest.raises(ArtifactError, match="truncated"):
+            load_index_artifact(artifact)
+
+    def test_truncated_header(self, artifact):
+        artifact.write_bytes(artifact.read_bytes()[:HEADER_SIZE - 8])
+        with pytest.raises(ArtifactError, match="truncated"):
+            load_index_artifact(artifact)
+
+    def test_verify_false_skips_checksum(self, artifact):
+        import json
+        import struct
+
+        data = bytearray(artifact.read_bytes())
+        # Flip a byte in the alignment padding between two sections:
+        # the checksum breaks but every array stays intact, so
+        # verify=False must still attach.
+        meta_len = struct.unpack_from("<I", data, len(MAGIC) + 2)[0]
+        meta = json.loads(
+            bytes(data[HEADER_SIZE:HEADER_SIZE + meta_len]))
+        used = sorted(
+            (entry["offset"], entry["offset"] + entry["nbytes"])
+            for entry in meta["arrays"].values()
+        )
+        pad = next((end for _, end in used
+                    if end % 64 and end < len(data)), None)
+        assert pad is not None, "no padding byte between sections"
+        data[pad] ^= 0x01  # offsets are absolute file positions
+        artifact.write_bytes(bytes(data))
+        with pytest.raises(ArtifactError, match="checksum"):
+            load_index_artifact(artifact)
+        loaded = load_index_artifact(artifact, verify=False)
+        assert loaded.index.total_locations > 0
+
+
+class TestPoolIdentity:
+    """Fork-shard, persistent-pool, and sequential must agree."""
+
+    @pytest.mark.parametrize("jobs", [1, 2, 4])
+    def test_single_end(self, artifact, reads, jobs):
+        attached = Mapper.from_artifact(artifact)
+        sequential = attached.map_batch(list(reads))
+        forked = attached.map_batch(list(reads), jobs=jobs)
+        pool = attached.pool(jobs)
+        try:
+            pooled = attached.map_batch(list(reads), pool=pool)
+        finally:
+            pool.close()
+        assert forked == sequential
+        assert pooled == sequential
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_pairs(self, artifact, reference, jobs):
+        rng = random.Random(55)
+        seq = reference[0][1]
+        pairs = []
+        for i in range(6):
+            start = rng.randrange(0, len(seq) - 400)
+            pairs.append((
+                f"p{i}", seq[start:start + 100],
+                seqmod.reverse_complement(
+                    seq[start + 250:start + 350]),
+            ))
+        attached = Mapper.from_artifact(artifact)
+        sequential = attached.map_pairs(list(pairs))
+        forked = attached.map_pairs(list(pairs), jobs=jobs)
+        pool = attached.pool(jobs)
+        try:
+            pooled = attached.map_pairs(list(pairs), pool=pool)
+        finally:
+            pool.close()
+        assert forked == sequential
+        assert pooled == sequential
+
+    def test_pool_reuse_across_batches(self, artifact, reads):
+        attached = Mapper.from_artifact(artifact)
+        half = len(reads) // 2
+        expected = attached.map_batch(list(reads))
+        with attached.pool(2) as pool:
+            first = attached.map_batch(list(reads[:half]), pool=pool)
+            second = attached.map_batch(list(reads[half:]), pool=pool)
+        assert first + second == expected
+
+    def test_pool_requires_artifact(self, reference):
+        fresh = Mapper(reference, config=CONFIG, max_node_length=512)
+        with pytest.raises(ValueError, match="artifact"):
+            fresh.pool(2)
+
+    def test_pool_stats_merge(self, artifact, reads):
+        attached = Mapper.from_artifact(artifact)
+        baseline = Mapper.from_artifact(artifact)
+        baseline.map_batch(list(reads))
+        with attached.pool(2) as pool:
+            attached.map_batch(list(reads), pool=pool)
+        assert attached.stats.reads == baseline.stats.reads
+        assert attached.stats.reads_mapped == \
+            baseline.stats.reads_mapped
+        assert attached.stats.regions_aligned == \
+            baseline.stats.regions_aligned

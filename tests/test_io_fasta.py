@@ -120,3 +120,110 @@ class TestFastq:
 
     def test_len(self):
         assert len(FastqRecord("r", "ACGT", "IIII")) == 4
+
+
+class TestCrlf:
+    """CRLF (Windows) files must parse byte-identically to Unix files."""
+
+    def test_fasta_crlf(self):
+        handle = io.StringIO(">chr1 desc\r\nACGT\r\nTTGG\r\n")
+        records = read_fasta(handle)
+        assert records[0].name == "chr1"
+        assert records[0].description == "desc"
+        assert records[0].sequence == "ACGTTTGG"
+
+    def test_fasta_crlf_blank_lines(self):
+        # A CRLF blank line must not be mistaken for sequence data.
+        handle = io.StringIO("\r\n>a\r\n\r\nAC\r\nGT\r\n")
+        assert read_fasta(handle)[0].sequence == "ACGT"
+
+    def test_fastq_crlf(self):
+        handle = io.StringIO("@r1 d\r\nACGT\r\n+\r\nIIII\r\n")
+        records = read_fastq(handle)
+        assert records[0].name == "r1"
+        assert records[0].description == "d"
+        assert records[0].sequence == "ACGT"
+        assert records[0].quality == "IIII"
+
+    def test_crlf_fixture_file(self, tmp_path):
+        path = tmp_path / "crlf.fa"
+        path.write_bytes(b">a one\r\nACGT\r\n>b\r\nTTAA\r\n")
+        records = read_fasta(path)
+        assert [(r.name, r.sequence) for r in records] == \
+            [("a", "ACGT"), ("b", "TTAA")]
+        for record in records:
+            assert "\r" not in record.sequence
+            assert "\r" not in record.description
+
+
+class TestHeaderWhitespace:
+    """Identifiers end at the first whitespace of *any* kind."""
+
+    def test_fasta_tab_separated_header(self):
+        records = read_fasta(io.StringIO(">chr1\tassembly=x\nACGT\n"))
+        assert records[0].name == "chr1"
+        assert records[0].description == "assembly=x"
+        assert "\t" not in records[0].name
+
+    def test_fastq_tab_separated_header(self):
+        records = read_fastq(
+            io.StringIO("@r1\tBC:Z:ACGT\nACGT\n+\nIIII\n"))
+        assert records[0].name == "r1"
+        assert records[0].description == "BC:Z:ACGT"
+
+    def test_mixed_space_tab(self):
+        records = read_fasta(io.StringIO(">c\t d  e\nAC\n"))
+        assert records[0].name == "c"
+        assert records[0].description == "d  e"
+
+
+class TestGzipInputs:
+    """``.gz`` inputs are detected (magic bytes or extension) and
+    decompressed transparently."""
+
+    @staticmethod
+    def _gz(path, text):
+        import gzip as gzip_mod
+
+        with gzip_mod.open(path, "wt", encoding="ascii") as handle:
+            handle.write(text)
+
+    def test_fasta_gz(self, tmp_path):
+        path = tmp_path / "ref.fa.gz"
+        self._gz(path, ">chr1\nACGTACGT\n")
+        records = read_fasta(path)
+        assert records[0].sequence == "ACGTACGT"
+
+    def test_fastq_gz(self, tmp_path):
+        path = tmp_path / "reads.fq.gz"
+        self._gz(path, "@r1\nACGT\n+\nIIII\n")
+        records = read_fastq(path)
+        assert records[0].sequence == "ACGT"
+
+    def test_gzip_magic_without_extension(self, tmp_path):
+        # Detection is by magic bytes, not only by extension.
+        path = tmp_path / "ref.fa"
+        self._gz(path, ">a\nACGT\n")
+        assert read_fasta(path)[0].sequence == "ACGT"
+
+    def test_read_sequences_gz(self, tmp_path):
+        from repro.io.fasta import read_sequences
+
+        path = tmp_path / "reads.fa.gz"
+        self._gz(path, ">r1\nACGT\n>r2\nTTGG\n")
+        assert read_sequences(path) == [("r1", "ACGT"),
+                                        ("r2", "TTGG")]
+
+    def test_mate_pairs_gz(self, tmp_path):
+        from repro.io.fasta import read_mate_pairs
+
+        p1 = tmp_path / "r1.fq.gz"
+        p2 = tmp_path / "r2.fq.gz"
+        self._gz(p1, "@p/1\nACGT\n+\nIIII\n")
+        self._gz(p2, "@p/2\nTTGG\n+\nIIII\n")
+        assert read_mate_pairs(p1, p2) == [("p", "ACGT", "TTGG")]
+
+    def test_plain_text_still_works(self, tmp_path):
+        path = tmp_path / "ref.fa"
+        path.write_text(">a\nACGT\n")
+        assert read_fasta(path)[0].sequence == "ACGT"

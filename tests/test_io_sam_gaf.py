@@ -109,6 +109,27 @@ class TestSam:
         with pytest.raises(SamFormatError):
             read_sam(io.StringIO("r1\t0\tchr1\n"))
 
+    def test_qname_with_tab_rejected(self):
+        # A tab inside QNAME would shift every downstream SAM column.
+        from repro.core.mapper import MappingResult
+        result = MappingResult(read_name="r1\textra", read_length=4,
+                               mapped=False)
+        with pytest.raises(SamFormatError, match="QNAME"):
+            result_to_sam(result, "ACGT", "chr1")
+
+    def test_qname_with_space_rejected(self):
+        from repro.core.mapper import MappingResult
+        result = MappingResult(read_name="r1 extra", read_length=4,
+                               mapped=False)
+        with pytest.raises(SamFormatError, match="QNAME"):
+            result_to_sam(result, "ACGT", "chr1")
+
+    def test_rname_with_whitespace_rejected(self, mapped_results):
+        _, _, results = mapped_results
+        result, seq = results[0]
+        with pytest.raises(SamFormatError, match="RNAME"):
+            result_to_sam(result, seq, "chr 1")
+
 
 class TestOrientationAndAmbiguity:
     """Property/round-trip tests for reverse-strand and N-containing
