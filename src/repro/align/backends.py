@@ -54,6 +54,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
+from typing import Any
 
 from repro.align.bitalign_batched import (
     BatchCostModel,
@@ -101,11 +102,11 @@ class AlignmentBackend:
     """Base class / contract for alignment backends."""
 
     #: Registry name; subclasses must override.
-    name = "?"
+    name: str = "?"
 
     #: Whether :meth:`chain_bitvectors` returns packed rows (lets the
     #: graph aligner skip the chain probe for reference backends).
-    provides_chain_kernel = False
+    provides_chain_kernel: bool = False
 
     def distance(self, text: str, pattern: str,
                  k: int) -> tuple[int, int] | None:
@@ -143,7 +144,8 @@ class AlignmentBackend:
         return [self.align(text, pattern, k, max_words=max_words)
                 for text, pattern in jobs]
 
-    def chain_bitvectors(self, chars: str, pattern: str, k: int):
+    def chain_bitvectors(self, chars: str, pattern: str,
+                         k: int) -> Any:
         """Optional packed ``all_r`` rows for a chain graph window.
 
         Returns an object interchangeable with the output of
@@ -154,7 +156,7 @@ class AlignmentBackend:
         return None
 
     def chain_bitvectors_many(self, jobs: "list[tuple[str, str]]",
-                              k: int) -> list:
+                              k: int) -> list[Any]:
         """Batch form of :meth:`chain_bitvectors`, one entry per job.
 
         Semantically a loop over :meth:`chain_bitvectors` (the base
@@ -276,7 +278,7 @@ class NumpyBackend(AlignmentBackend):
     #: the crossover in ``benchmarks/bench_align_backends.py``), and
     #: since results are bit-for-bit identical either way, falling
     #: back costs nothing but time saved.
-    CHAIN_KERNEL_MIN_BITS = 512
+    CHAIN_KERNEL_MIN_BITS: int = 512
 
     def __init__(self,
                  chain_kernel_min_bits: int | None = None,
@@ -301,7 +303,7 @@ class NumpyBackend(AlignmentBackend):
         return packed_distance(text, pattern, k)
 
     @staticmethod
-    def _finish(rows, text: str,
+    def _finish(rows: Any, text: str,
                 pattern: str) -> BackendAlignment | None:
         """Shared ``align`` tail: locate the best accept in ``rows``
         and trace it back.  Both the per-call and the batched path end
@@ -380,7 +382,7 @@ class NumpyBackend(AlignmentBackend):
             return None
 
     def chain_bitvectors_many(self, jobs: "list[tuple[str, str]]",
-                              k: int) -> list:
+                              k: int) -> "list[PackedChainRows | None]":
         """Batched chain rows for many windows of one dispatch round.
 
         Jobs the :class:`~repro.align.bitalign_batched.BatchCostModel`
@@ -392,9 +394,9 @@ class NumpyBackend(AlignmentBackend):
         jobs past the word budget decline with None; every fallback is
         bit-for-bit identical, just slower.
         """
-        results: list = [None] * len(jobs)
-        shapes = []
-        keep = []
+        results: "list[PackedChainRows | None]" = [None] * len(jobs)
+        shapes: list[tuple[int, int]] = []
+        keep: list[int] = []
         for index, (chars, pattern) in enumerate(jobs):
             if align_storage_words(len(chars), len(pattern),
                                    k) > DEFAULT_MAX_WORDS:

@@ -156,7 +156,7 @@ class _BatchedSweep:
         self.virtual = full[:, :, None] & ~vlow[None, :, :]
         self.pm = pm
         # Live-prefix length per diagonal: slots with n_b + k >= t.
-        n_desc = np.array(self.n_of)
+        n_desc = np.array(self.n_of, dtype=np.int64)
         self.live_at = [
             int(np.searchsorted(-n_desc, -(t - k), side="right"))
             if t > k else batch
@@ -445,6 +445,10 @@ class BatchCostModel:
     def __init__(self, model=None,
                  dispatch_words: int | None = None) -> None:
         if model is None:
+            # The dispatcher's cost heuristic deliberately consults
+            # the hardware cycle model this kernel mirrors; the edge
+            # is read-only, function-local, and has no substitute at
+            # layer 1.  # repro: allow[layering]
             from repro.hw.bitalign_unit import BitAlignCycleModel
 
             model = BitAlignCycleModel()

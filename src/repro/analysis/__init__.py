@@ -1,0 +1,48 @@
+"""Static analysis for the repro codebase: ``repro analyze``.
+
+An AST-based invariant checker enforcing the contracts the test
+suite cannot see from outputs alone: determinism of the result path,
+dtype/shift discipline in the packed kernels, fork/pool safety of
+worker code, the package layer order, stage purity, and exception
+hygiene.  See ``repro analyze --list-rules`` for the registered
+rules and why each is load-bearing.
+
+Findings carry ``path:line:col`` anchors and a rule id; a finding is
+suppressed in-tree with a ``# repro: allow[<rule-id>]`` comment on (or
+immediately above) the offending statement — always with the reason
+alongside, and only for deliberate, documented exceptions.
+"""
+
+from repro.analysis.engine import (
+    JSON_FORMAT_VERSION,
+    AnalysisReport,
+    Module,
+    analyze_paths,
+    analyze_source,
+    iter_python_files,
+)
+from repro.analysis.findings import Finding
+from repro.analysis.registry import (
+    Rule,
+    UnknownRuleError,
+    all_rules,
+    get_rule,
+    resolve_rules,
+)
+from repro.analysis.suppressions import Suppressions
+
+__all__ = [
+    "JSON_FORMAT_VERSION",
+    "AnalysisReport",
+    "Finding",
+    "Module",
+    "Rule",
+    "Suppressions",
+    "UnknownRuleError",
+    "all_rules",
+    "analyze_paths",
+    "analyze_source",
+    "get_rule",
+    "iter_python_files",
+    "resolve_rules",
+]

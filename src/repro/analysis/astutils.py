@@ -1,0 +1,158 @@
+"""Small AST helpers shared by the rule modules.
+
+Nothing here is rule-specific: dotted-name rendering, import-alias
+resolution (``np.random.randint`` -> ``numpy.random.randint``),
+``if TYPE_CHECKING:`` detection, and statement-level iteration with
+body context (a rule often needs "the statement containing this
+expression" and "the statements that follow it in the same block").
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    current: ast.expr = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    return ".".join(reversed(parts))
+
+
+def import_aliases(tree: ast.Module) -> dict[str, str]:
+    """Local name -> fully dotted target, for every import.
+
+    ``import numpy as np`` maps ``np -> numpy``; ``from os import
+    urandom`` maps ``urandom -> os.urandom``; ``from numpy import
+    random as npr`` maps ``npr -> numpy.random``.  Relative imports
+    are skipped (their targets are repo-internal and handled by the
+    layering rule's own resolution).
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else \
+                    alias.name.split(".")[0]
+                aliases[local] = target
+        elif isinstance(node, ast.ImportFrom) and node.level == 0 \
+                and node.module:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                aliases[local] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+def expand_path(node: ast.expr, aliases: dict[str, str]) -> str | None:
+    """The fully qualified dotted path of an expression, if any.
+
+    ``np.random.default_rng`` with ``np -> numpy`` expands to
+    ``numpy.random.default_rng``; plain local names expand through
+    from-import aliases (``urandom -> os.urandom``).
+    """
+    path = dotted_name(node)
+    if path is None:
+        return None
+    head, _, rest = path.partition(".")
+    base = aliases.get(head, head)
+    return f"{base}.{rest}" if rest else base
+
+
+def type_checking_nodes(tree: ast.Module) -> frozenset[int]:
+    """ids of every node inside an ``if TYPE_CHECKING:`` body."""
+    guarded: set[int] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.If):
+            continue
+        test = node.test
+        name = test.id if isinstance(test, ast.Name) else (
+            test.attr if isinstance(test, ast.Attribute) else None)
+        if name != "TYPE_CHECKING":
+            continue
+        for child in node.body:
+            for sub in ast.walk(child):
+                guarded.add(id(sub))
+    return frozenset(guarded)
+
+
+def statement_blocks(
+    root: ast.AST,
+) -> Iterator[tuple[list[ast.stmt], int, ast.stmt]]:
+    """Yield ``(block, index, statement)`` for every statement.
+
+    ``block`` is the statement list owning the statement, so a rule
+    can look at following siblings (e.g. "is the shifted array masked
+    within the next two statements?").
+    """
+    for node in ast.walk(root):
+        for field_name in ("body", "orelse", "finalbody"):
+            block = getattr(node, field_name, None)
+            if not isinstance(block, list):
+                continue
+            for index, stmt in enumerate(block):
+                if isinstance(stmt, ast.stmt):
+                    yield block, index, stmt
+
+
+def assign_target_names(stmt: ast.stmt) -> list[str]:
+    """Dotted names assigned by an Assign/AnnAssign/AugAssign."""
+    targets: list[ast.expr] = []
+    if isinstance(stmt, ast.Assign):
+        targets = list(stmt.targets)
+    elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+        targets = [stmt.target]
+    names: list[str] = []
+    for target in targets:
+        if isinstance(target, ast.Tuple):
+            for element in target.elts:
+                name = dotted_name(element)
+                if name is not None:
+                    names.append(name)
+        else:
+            name = dotted_name(target)
+            if name is not None:
+                names.append(name)
+    return names
+
+
+def contains_bitand(node: ast.AST) -> bool:
+    """Whether any ``&`` / ``&=`` appears under ``node``."""
+    for sub in ast.walk(node):
+        if isinstance(sub, (ast.BinOp, ast.AugAssign)) \
+                and isinstance(sub.op, ast.BitAnd):
+            return True
+    return False
+
+
+def module_level_bindings(tree: ast.Module) -> frozenset[str]:
+    """Names bound by module-level statements (assignments, imports,
+    defs) — the globals a forked worker shares with the parent."""
+    names: set[str] = set()
+    for stmt in tree.body:
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            names.update(assign_target_names(stmt))
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef)):
+            names.add(stmt.name)
+        elif isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                names.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(stmt, ast.ImportFrom):
+            for alias in stmt.names:
+                if alias.name != "*":
+                    names.add(alias.asname or alias.name)
+        elif isinstance(stmt, (ast.If, ast.Try)):
+            for sub in ast.walk(stmt):
+                if isinstance(sub, (ast.Assign, ast.AnnAssign)):
+                    names.update(assign_target_names(sub))
+    return frozenset(names)

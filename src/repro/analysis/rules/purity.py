@@ -1,0 +1,156 @@
+"""Rule ``stage-purity``: pipeline stages must not mutate the config
+they captured at construction.
+
+Stages are constructed once and then run over many reads, across
+shards, and inside persistent pool workers; the pipeline's parity
+contract assumes a stage given the same config and the same read
+always produces the same output.  A stage that *writes through* its
+captured config (``self.config.k = ...``) breaks that three ways at
+once: the mutation leaks into every other stage sharing the config
+object, it makes output depend on read-processing order, and under
+``run_sharded`` the mutation happens in a forked copy so shard and
+in-process runs silently diverge.
+
+The rule inspects every class whose name ends in ``Stage``: any
+``__init__`` parameter whose name contains ``config`` (or whose
+annotation ends in ``Config``) that is stored on ``self`` becomes a
+protected attribute, and any method that assigns through it —
+attribute write, augmented assignment, ``setattr`` — is flagged.
+Writes through any attribute path containing a ``config`` segment
+(``self.pipeline.config.x = ...``) are flagged on the same grounds.
+Stages wanting per-run state must copy the config, not edit it.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import Module
+from repro.analysis.findings import Finding
+from repro.analysis.registry import rule
+
+
+def _config_params(init: ast.FunctionDef) -> set[str]:
+    names: set[str] = set()
+    args = init.args
+    for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+        if "config" in arg.arg.lower():
+            names.add(arg.arg)
+            continue
+        annotation = arg.annotation
+        if isinstance(annotation, ast.Name) \
+                and annotation.id.endswith("Config"):
+            names.add(arg.arg)
+        elif isinstance(annotation, ast.Attribute) \
+                and annotation.attr.endswith("Config"):
+            names.add(arg.arg)
+    return names
+
+
+def _captured_attrs(init: ast.FunctionDef,
+                    config_params: set[str]) -> set[str]:
+    """self attributes assigned directly from a config parameter."""
+    captured: set[str] = set()
+    for node in ast.walk(init):
+        if not isinstance(node, ast.Assign):
+            continue
+        if not (isinstance(node.value, ast.Name)
+                and node.value.id in config_params):
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Attribute) \
+                    and isinstance(target.value, ast.Name) \
+                    and target.value.id == "self":
+                captured.add(target.attr)
+    return captured
+
+
+def _attr_path(expr: ast.expr) -> list[str] | None:
+    parts: list[str] = []
+    current = expr
+    while isinstance(current, (ast.Attribute, ast.Subscript)):
+        if isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    return list(reversed(parts))
+
+
+def _writes_through(path: list[str] | None,
+                    protected: set[str]) -> bool:
+    if path is None or len(path) < 3:
+        # self.x = ... (len 2) replaces the stage's own reference;
+        # only writes *through* a captured object (self.cfg.k = ...)
+        # mutate shared config.
+        return False
+    if path[0] != "self":
+        return False
+    intermediate = path[1:-1]
+    if any(part in protected for part in intermediate):
+        return True
+    return any("config" in part.lower() for part in intermediate)
+
+
+def _check_method(module: Module, cls: ast.ClassDef,
+                  method: ast.FunctionDef,
+                  protected: set[str]) -> list[Finding]:
+    findings: list[Finding] = []
+    for node in ast.walk(method):
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) \
+                else [node.target]
+            for target in targets:
+                if _writes_through(_attr_path(target), protected):
+                    findings.append(module.finding(
+                        "stage-purity", node,
+                        f"{cls.name}.{method.name} writes through "
+                        "constructor-captured config; stages must "
+                        "treat config as frozen (copy it for "
+                        "per-run state)",
+                    ))
+        elif isinstance(node, ast.Call) \
+                and isinstance(node.func, ast.Name) \
+                and node.func.id == "setattr" and node.args:
+            first = _attr_path(node.args[0])
+            if first is not None and (
+                    _writes_through(first + ["_"], protected)
+                    or (len(first) >= 2 and first[0] == "self"
+                        and first[1] in protected)):
+                findings.append(module.finding(
+                    "stage-purity", node,
+                    f"{cls.name}.{method.name} setattr()s into "
+                    "captured config; stages must treat config as "
+                    "frozen",
+                ))
+    return findings
+
+
+@rule(
+    "stage-purity",
+    "PipelineStage classes must not mutate constructor-captured "
+    "config",
+    "stages run per-read across shards and pool workers under a "
+    "parity contract; a config write leaks into sibling stages, "
+    "makes output order-dependent, and diverges between forked and "
+    "in-process runs",
+)
+def check_stage_purity(module: Module) -> list[Finding]:
+    findings: list[Finding] = []
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.ClassDef) \
+                or not node.name.endswith("Stage"):
+            continue
+        methods = [item for item in node.body
+                   if isinstance(item, ast.FunctionDef)]
+        init = next((m for m in methods if m.name == "__init__"), None)
+        protected: set[str] = set()
+        if init is not None:
+            protected = _captured_attrs(init, _config_params(init))
+        for method in methods:
+            if method.name == "__init__":
+                continue
+            findings.extend(
+                _check_method(module, node, method, protected))
+    return findings

@@ -34,7 +34,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import TYPE_CHECKING, Iterable, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Sequence, Union
 
 from repro.core.mapper import MappingResult, SeGraM, SeGraMConfig
 from repro.core.pairing import (
@@ -48,6 +48,14 @@ from repro.refs.reference import Contig, ReferenceSet, ReferenceSetError
 
 if TYPE_CHECKING:  # pragma: no cover - only for hints
     from repro.core.pipeline import PersistentPool, PipelineStats
+
+#: Any accepted reference shape (see :func:`as_reference_set`): a
+#: pre-built set, a genome graph, a raw sequence, or an iterable of
+#: ``(name, sequence)`` / FASTA-record objects.
+ReferenceLike = Union[ReferenceSet, GenomeGraph, str, Iterable[Any]]
+
+#: One batch read: a bare sequence or a ``(name, sequence)`` entry.
+ReadLike = Union[str, Sequence[str]]
 
 
 @dataclass(frozen=True)
@@ -102,8 +110,8 @@ class MappingRecord:
     mate_position: int | None = None
     template_length: int | None = None
     pair_category: str | None = None
-    result: MappingResult = field(default=None, repr=False,
-                                  compare=False)
+    result: MappingResult | None = field(default=None, repr=False,
+                                         compare=False)
     pair: "PairResult | None" = field(default=None, repr=False,
                                       compare=False)
 
@@ -136,7 +144,7 @@ def _record_from_result(result: MappingResult,
 def _pair_records(pair: PairResult,
                   default_contig: str | None
                   ) -> tuple[MappingRecord, MappingRecord]:
-    records = []
+    records: list[MappingRecord] = []
     for me, mate in ((pair.mate1, pair.mate2),
                      (pair.mate2, pair.mate1)):
         record = _record_from_result(me, default_contig)
@@ -158,8 +166,8 @@ def _pair_records(pair: PairResult,
 
 
 def as_reference_set(
-    reference,
-    variants: Iterable = (),
+    reference: ReferenceLike,
+    variants: Iterable[Any] = (),
     name: str = "reference",
     max_node_length: int = 0,
 ) -> ReferenceSet:
@@ -187,6 +195,7 @@ def as_reference_set(
             )
         return ReferenceSet([Contig.from_graph(reference.name or name,
                                                reference)])
+    records: list[tuple[str, str]]
     if isinstance(reference, str):
         records = [(name, reference)]
     else:
@@ -221,8 +230,8 @@ class Mapper:
 
     def __init__(
         self,
-        reference,
-        variants: Iterable = (),
+        reference: ReferenceLike,
+        variants: Iterable[Any] = (),
         config: SeGraMConfig | None = None,
         pair_config: PairedEndConfig | None = None,
         name: str = "reference",
@@ -423,7 +432,7 @@ class Mapper:
         return _record_from_result(self.engine.map_read(read, name),
                                    self._default_contig)
 
-    def map_batch(self, reads, jobs: int = 1,
+    def map_batch(self, reads: Iterable[ReadLike], jobs: int = 1,
                   pool: "PersistentPool | None" = None,
                   ) -> list[MappingRecord]:
         """Map a batch of reads, optionally sharded across workers.
@@ -436,11 +445,12 @@ class Mapper:
         back in input order and are identical to mapping each read
         alone, for any ``jobs`` and either pool mode.
         """
-        reads = [(f"read{i}", r) if isinstance(r, str) else tuple(r)
-                 for i, r in enumerate(reads)]
+        named: list[tuple[str, ...]] = [
+            (f"read{i}", r) if isinstance(r, str) else tuple(r)
+            for i, r in enumerate(reads)]
         default = self._default_contig
         return [_record_from_result(result, default)
-                for result in self.engine.map_batch(reads, jobs=jobs,
+                for result in self.engine.map_batch(named, jobs=jobs,
                                                     pool=pool)]
 
     def map_pair(self, read1: str, read2: str,
@@ -452,8 +462,8 @@ class Mapper:
 
     def map_pairs(
         self,
-        reads1: Sequence,
-        reads2: Sequence | None = None,
+        reads1: Sequence[ReadLike],
+        reads2: Sequence[ReadLike] | None = None,
         jobs: int = 1,
         pool: "PersistentPool | None" = None,
     ) -> list[tuple[MappingRecord, MappingRecord]]:
@@ -480,13 +490,13 @@ class Mapper:
                     f"{len(reads2)} reads"
                 )
 
-            def norm(entry):
+            def norm(entry: ReadLike) -> tuple[str | None, str]:
                 if isinstance(entry, str):
                     return None, entry
                 name, sequence = entry
                 return name, sequence
 
-            pairs = []
+            pairs: list[tuple[str, ...]] = []
             for index, (e1, e2) in enumerate(zip(reads1, reads2)):
                 name1, r1 = norm(e1)
                 name2, r2 = norm(e2)
@@ -528,9 +538,9 @@ class _MapperContexts:
 
     def __init__(self, mapper: Mapper) -> None:
         self.mapper = mapper
-        self._contexts: dict = {}
+        self._contexts: dict[str, Any] = {}
 
-    def shard_context(self, mode: str):
+    def shard_context(self, mode: str) -> Any:
         if mode not in self._contexts:
             if mode == "reads":
                 from repro.core.pipeline import _ReadShardContext

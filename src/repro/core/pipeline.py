@@ -976,7 +976,9 @@ _WORKER_CONTEXT: "ShardContext | None" = None
 def _shard_worker_init(context: ShardContext) -> None:
     """Pool initializer: adopt the (forked) shard context."""
     global _WORKER_CONTEXT
-    _WORKER_CONTEXT = context
+    # Per-process cache by design: each worker installs its own
+    # context once at pool start; nothing ever reads it parent-side.
+    _WORKER_CONTEXT = context  # repro: allow[fork-safety]
 
 
 def _shard_worker_run(items):
@@ -1003,7 +1005,9 @@ def _pool_worker_init(factory) -> None:
     memory-mapped artifact themselves.
     """
     global _POOL_CONTEXTS
-    _POOL_CONTEXTS = factory()
+    # Per-process cache by design: each worker builds its own engine
+    # from the picklable factory; nothing ever reads it parent-side.
+    _POOL_CONTEXTS = factory()  # repro: allow[fork-safety]
 
 
 def _pool_worker_run(payload):

@@ -23,6 +23,9 @@ from dataclasses import dataclass, field
 from typing import Iterable
 
 from repro.graph.genome_graph import GenomeGraph, GraphError
+# Runtime dependency (isinstance normalization of raw VCF records in
+# _normalize_all); VcfRecord is a passive row type carrying no io
+# machinery, so the upward edge is accepted.  # repro: allow[layering]
 from repro.io.vcf import VcfRecord
 
 

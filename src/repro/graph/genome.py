@@ -14,6 +14,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Mapping
 
+# Genome is a multi-chromosome facade that *constructs* per-chromosome
+# SeGraM mappers — an orchestration convenience that lives in graph/
+# for API-history reasons.  # repro: allow[layering]
 from repro.core.mapper import MappingResult, SeGraM, SeGraMConfig
 from repro.graph.builder import BuiltGraph, Variant, build_graph
 from repro.index.hash_index import HashTableIndex, build_index

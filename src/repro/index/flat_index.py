@@ -309,7 +309,9 @@ _SCAN_STATE: "tuple | None" = None
 
 def _scan_worker_init(graph, w: int, k: int, scoring: Scoring) -> None:
     global _SCAN_STATE
-    _SCAN_STATE = (graph, w, k, scoring)
+    # Per-process cache by design: each scan worker installs its own
+    # arguments once at pool start; nothing reads this parent-side.
+    _SCAN_STATE = (graph, w, k, scoring)  # repro: allow[fork-safety]
 
 
 def _scan_worker_run(node_range: tuple[int, int]):

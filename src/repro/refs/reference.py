@@ -71,7 +71,7 @@ class Contig:
 
     name: str
     sequence: str | None = None
-    variants: tuple = ()
+    variants: tuple[Variant | VcfRecord, ...] = ()
     graph: GenomeGraph | None = None
 
     def __post_init__(self) -> None:
@@ -113,6 +113,7 @@ class Contig:
         bases (graph-backed) — the ``LN`` of the SAM ``@SQ`` line."""
         if self.sequence is not None:
             return len(self.sequence)
+        assert self.graph is not None  # __post_init__ invariant
         return self.graph.total_sequence_length
 
 
@@ -180,7 +181,7 @@ class ReferenceSet:
         char_start = self.graph.total_sequence_length
         ref_positions: list[int] | None = None
         alt_nodes: tuple[int, ...] = ()
-        if contig.is_linear:
+        if contig.sequence is not None:
             built = build_graph(
                 contig.sequence, contig.variants, name=contig.name,
                 max_node_length=self.max_node_length,
@@ -189,6 +190,7 @@ class ReferenceSet:
             ref_positions = built.ref_positions
             alt_nodes = tuple(n + node_base for n in built.alt_nodes)
         else:
+            assert contig.graph is not None  # __post_init__ invariant
             subgraph = contig.graph
             if not subgraph.is_topologically_sorted():
                 subgraph = subgraph.topologically_sorted()
@@ -264,7 +266,8 @@ class ReferenceSet:
                     f"contig {name!r} has an empty sequence"
                 )
         names = [name for name, _ in records]
-        by_chrom: dict[str, list] = {name: [] for name in names}
+        by_chrom: dict[str, list[Variant | VcfRecord]] = {
+            name: [] for name in names}
         for item in variants:
             if isinstance(item, VcfRecord):
                 if item.chrom in by_chrom:

@@ -1,0 +1,11 @@
+"""Fixture: seeded generators and measurement clocks are allowed."""
+import random
+import time
+
+import numpy as np
+
+rng = random.Random(1234)
+value = rng.random()
+generator = np.random.default_rng(7)
+started = time.perf_counter()
+elapsed_ns = time.monotonic_ns()

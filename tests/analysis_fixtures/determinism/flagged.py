@@ -1,0 +1,11 @@
+"""Fixture: every statement below violates the determinism rule."""
+import random
+import time
+
+import numpy as np
+
+choice = random.random()
+rng = random.Random()
+generator = np.random.default_rng()
+legacy = np.random.randint(0, 10)
+stamp = time.time()

@@ -1,0 +1,5 @@
+"""Fixture: a documented wall-clock read carrying a suppression."""
+import time
+
+# Benchmark wall-clock label only, never fed into results.
+stamp = time.time()  # repro: allow[determinism]

@@ -1,0 +1,7 @@
+"""Fixture (impersonates a kernel module): explicit dtypes."""
+import numpy as np
+
+state = np.zeros(8, dtype=np.uint64)
+table = np.array([1, 2, 3], dtype=np.int64)
+counts = np.arange(16, dtype=np.uint32)
+positional = np.zeros(4, np.uint64)

@@ -1,0 +1,6 @@
+"""Fixture (impersonates a kernel module): inferred dtypes."""
+import numpy as np
+
+state = np.zeros(8)
+table = np.array([1, 2, 3])
+counts = np.arange(16)

@@ -1,0 +1,5 @@
+"""Fixture (impersonates a kernel module): suppressed inference."""
+import numpy as np
+
+# Float scratch buffer, never packed or serialized.
+scratch = np.zeros(8)  # repro: allow[dtype]

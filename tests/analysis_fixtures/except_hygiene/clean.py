@@ -1,0 +1,24 @@
+"""Fixture: typed, handled, or translated exceptions only."""
+import sys
+
+
+def careful(records):
+    total = 0
+    for record in records:
+        try:
+            total += int(record)
+        except ValueError:
+            continue
+    try:
+        return total / len(records)
+    except ZeroDivisionError:
+        return None
+
+
+def translate(loader, path):
+    try:
+        return loader(path)
+    except Exception as exc:
+        # Broad catch is fine when the error is re-raised/translated.
+        print(f"failed to load {path}: {exc}", file=sys.stderr)
+        raise

@@ -1,0 +1,15 @@
+"""Fixture: swallowed exceptions."""
+
+
+def swallow_everything(records):
+    total = 0
+    for record in records:
+        try:
+            total += int(record)
+        except:  # noqa: E722
+            continue
+    try:
+        return total / len(records)
+    except Exception:
+        pass
+    return None

@@ -1,0 +1,11 @@
+"""Fixture: a documented best-effort cleanup suppression."""
+
+
+def best_effort_cleanup(handles):
+    for handle in handles:
+        try:
+            handle.close()
+        except Exception:  # repro: allow[except-hygiene]
+            # Best-effort shutdown: a failed close must not mask the
+            # original error being propagated by the caller.
+            pass

@@ -1,0 +1,9 @@
+"""Fixture: a sanctioned per-process initializer cache."""
+
+_WORKER_STATE = None
+
+
+def cache_worker_init(state):
+    global _WORKER_STATE
+    # Per-process cache by design; never read parent-side.
+    _WORKER_STATE = state  # repro: allow[fork-safety]

@@ -1,0 +1,8 @@
+"""Fixture (impersonates an align-layer module): upward imports."""
+from repro.core.pipeline import PersistentPool
+
+import repro.hw.bitalign_unit
+
+from repro.api import Mapper
+
+__all__ = ["PersistentPool", "repro", "Mapper"]

@@ -1,0 +1,5 @@
+"""Fixture (impersonates an align-layer module): sanctioned edge."""
+# Read-only consultation of the hardware model this kernel mirrors.
+from repro.hw.bitalign_unit import BitAlignCycleModel  # repro: allow[layering]
+
+__all__ = ["BitAlignCycleModel"]

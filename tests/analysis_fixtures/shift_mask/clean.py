@@ -1,0 +1,14 @@
+"""Fixture (impersonates a kernel module): the masked-shift idiom."""
+import numpy as np
+
+vec = np.zeros(4, dtype=np.uint64)
+one = np.uint64(1)
+word_mask = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+masked = (vec << one) & word_mask
+bit = (vec[0] >> one) & one
+wrapped = np.uint64(vec[1] << one)
+# Mask-building shifts are the idiom, not a violation.
+top_mask = vec >> np.uint64(63)
+followup = vec << one
+followup = followup & word_mask

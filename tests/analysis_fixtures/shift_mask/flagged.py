@@ -1,0 +1,8 @@
+"""Fixture (impersonates a kernel module): unmasked uint64 shifts."""
+import numpy as np
+
+vec = np.zeros(4, dtype=np.uint64)
+one = np.uint64(1)
+
+shifted = vec << one
+walked = vec[0] >> one

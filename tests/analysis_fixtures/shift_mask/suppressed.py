@@ -1,0 +1,8 @@
+"""Fixture (impersonates a kernel module): suppressed shift."""
+import numpy as np
+
+vec = np.zeros(4, dtype=np.uint64)
+one = np.uint64(1)
+
+# High bits deliberately discarded by the caller.
+spill = vec << one  # repro: allow[shift-mask]

@@ -1,0 +1,17 @@
+"""Fixture: a pure stage — reads config, owns its mutable state."""
+import dataclasses
+
+
+class CountingStage:
+    def __init__(self, config):
+        self.config = config
+        self._processed = 0
+
+    def process(self, item):
+        self._processed += 1
+        k = self.config.k
+        if k > 0:
+            # Per-run variation copies the config instead of editing.
+            local = dataclasses.replace(self.config, k=k - 1)
+            return item, local
+        return item, self.config

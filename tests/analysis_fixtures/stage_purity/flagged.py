@@ -1,0 +1,13 @@
+"""Fixture: a pipeline stage mutating its captured config."""
+
+
+class GreedyStage:
+    def __init__(self, config):
+        self.config = config
+        self.window = config
+
+    def process(self, item):
+        self.config.k = self.config.k + 1
+        self.window.width += 2
+        setattr(self.config, "mode", "greedy")
+        return item

@@ -1,0 +1,10 @@
+"""Fixture: a documented config write carrying a suppression."""
+
+
+class MigrationStage:
+    def __init__(self, config):
+        self.config = config
+
+    def upgrade(self):
+        # One-shot config migration before the pipeline starts.
+        self.config.version = 2  # repro: allow[stage-purity]
