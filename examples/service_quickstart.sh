@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Mapping-service quickstart: build an index artifact, run the
+# daemon, map reads through it, and prove the served SAM output is
+# byte-identical to the offline run.  Companion to docs/service.md.
+#
+# Run from the repository root:
+#
+#     bash examples/service_quickstart.sh
+#
+# Uses only the standard toolchain (no network, no extra installs);
+# everything happens in a temporary directory that is cleaned up on
+# exit.
+set -euo pipefail
+
+REPRO="${PYTHON:-python} -m repro"
+export PYTHONPATH="${PYTHONPATH:-src}"
+
+WORK="$(mktemp -d)"
+SOCKET="$WORK/repro.sock"
+SERVE_PID=""
+cleanup() {
+    [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "== 1. simulate a reference and a read set =="
+${PYTHON:-python} - "$WORK" <<'PY'
+import random
+import sys
+from pathlib import Path
+
+from repro.sim.shortread import ShortReadProfile, simulate_short_reads
+
+work = Path(sys.argv[1])
+rng = random.Random(42)
+reference = "".join(rng.choice("ACGT") for _ in range(20_000))
+work.joinpath("ref.fa").write_text(f">chr1\n{reference}\n")
+reads = simulate_short_reads(reference, 50, random.Random(7),
+                             ShortReadProfile.illumina(100, 0.01))
+with work.joinpath("reads.fq").open("w") as out:
+    for read in reads:
+        out.write(f"@{read.name}\n{read.sequence}\n+\n"
+                  f"{'I' * len(read.sequence)}\n")
+print(f"wrote {work}/ref.fa (20 kb) and {work}/reads.fq (50 reads)")
+PY
+
+echo "== 2. build the .sgidx index artifact (once per reference) =="
+$REPRO index build "$WORK/ref.fa" -o "$WORK/ref.sgidx"
+
+echo "== 3. start the daemon (unix socket, micro-batching on) =="
+$REPRO serve --index "$WORK/ref.sgidx" --socket "$SOCKET" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+    [ -S "$SOCKET" ] && break
+    sleep 0.1
+done
+[ -S "$SOCKET" ] || { echo "daemon did not come up" >&2; exit 1; }
+
+echo "== 4. liveness check =="
+$REPRO client ping --socket "$SOCKET"
+
+echo "== 5. map the reads through the daemon (pipelined stream) =="
+$REPRO client map --socket "$SOCKET" \
+    --reads "$WORK/reads.fq" --output "$WORK/served.sam"
+
+echo "== 6. same reads offline; served output must be byte-identical =="
+$REPRO map --index "$WORK/ref.sgidx" --reads "$WORK/reads.fq" \
+    --output "$WORK/offline.sam" --format sam
+cmp "$WORK/served.sam" "$WORK/offline.sam"
+echo "served.sam == offline.sam (byte-identical)"
+
+echo "== 7. service statistics =="
+$REPRO client stats --socket "$SOCKET"
+
+echo "== 8. graceful shutdown =="
+$REPRO client shutdown --socket "$SOCKET"
+wait "$SERVE_PID"
+SERVE_PID=""
+echo "quickstart complete"

@@ -21,14 +21,17 @@ Checked:
 
 * functions reachable from a worker root — a module-level function
   whose name contains ``worker``, any method of a ``*ShardContext``
-  class, or ``__call__`` of a ``*Factory`` class — must not write
+  or ``*Batcher`` class (the service's dispatch plumbing feeds pool
+  workers), or ``__call__`` of a ``*Factory`` class — must not write
   ``global`` names, nor mutate module-level bindings through
   subscript/attribute assignment or mutating method calls
   (``append``/``update``/...);
 * ``*Factory.__init__`` must not store open files, mmaps, locks, or
   generator expressions on ``self``;
-* arguments to ``PersistentPool(...)`` / ``run_sharded(...)`` must
-  not be lambdas or generator expressions (unpicklable payloads).
+* arguments to ``PersistentPool(...)`` / ``run_sharded(...)`` /
+  ``pool(...)`` (the ``Mapper.pool`` factory the service wires its
+  workers through) must not be lambdas or generator expressions
+  (unpicklable payloads).
 
 Per-process caches that are *designed* to be populated worker-side
 (e.g. the pool-initializer globals in :mod:`repro.core.pipeline`)
@@ -66,7 +69,9 @@ _RESOURCE_CALLS = frozenset({
 })
 
 #: Constructors/functions whose arguments cross the fork boundary.
-_POOL_ENTRYPOINTS = ("PersistentPool", "run_sharded")
+#: ``pool`` covers ``Mapper.pool(...)`` — the entry point the mapping
+#: service wires its standing workers through.
+_POOL_ENTRYPOINTS = ("PersistentPool", "run_sharded", "pool")
 
 
 def _functions_by_name(
@@ -82,7 +87,8 @@ def _worker_roots(tree: ast.Module) -> list[ast.FunctionDef]:
                 and "worker" in stmt.name.lower():
             roots.append(stmt)
         elif isinstance(stmt, ast.ClassDef):
-            class_is_context = "shardcontext" in stmt.name.lower()
+            class_is_context = ("shardcontext" in stmt.name.lower()
+                                or stmt.name.endswith("Batcher"))
             for item in stmt.body:
                 if not isinstance(item, ast.FunctionDef):
                     continue

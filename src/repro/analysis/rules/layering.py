@@ -7,7 +7,8 @@ The dependency order of this repo is::
     layer 1   repro.graph, repro.index, repro.align
     layer 2   repro.io, repro.refs, repro.sim
     layer 3   repro.core, repro.hw              (orchestration, models)
-    layer 4   repro.api, repro.cli, repro.eval, repro.analysis
+    layer 4   repro.api, repro.cli, repro.eval, repro.analysis,
+              repro.service
 
 A module may import from its own layer or below; importing *upward*
 creates the cycles that previously forced function-level import
@@ -50,6 +51,7 @@ _LAYERS: dict[str, int] = {
     "repro.api": 4,
     "repro.cli": 4,
     "repro.analysis": 4,
+    "repro.service": 4,
     "repro": 4,
 }
 

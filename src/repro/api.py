@@ -434,6 +434,7 @@ class Mapper:
 
     def map_batch(self, reads: Iterable[ReadLike], jobs: int = 1,
                   pool: "PersistentPool | None" = None,
+                  coalesce: bool = False,
                   ) -> list[MappingRecord]:
         """Map a batch of reads, optionally sharded across workers.
 
@@ -441,17 +442,20 @@ class Mapper:
         strings (auto-named ``read0``, ``read1``, ...).  ``jobs > 1``
         forks per-batch workers; a :class:`~repro.core.pipeline.
         PersistentPool` (see :meth:`pool`) serves the batch from
-        standing artifact-attached workers instead.  Results come
-        back in input order and are identical to mapping each read
-        alone, for any ``jobs`` and either pool mode.
+        standing artifact-attached workers instead.
+        ``coalesce=True`` maps each shard through one cross-read
+        batched kernel dispatch instead of a per-read loop — the
+        mapping service's serving mode.  Results come back in input
+        order and are identical to mapping each read alone, for any
+        ``jobs``, either pool mode, and either dispatch shape.
         """
         named: list[tuple[str, ...]] = [
             (f"read{i}", r) if isinstance(r, str) else tuple(r)
             for i, r in enumerate(reads)]
         default = self._default_contig
         return [_record_from_result(result, default)
-                for result in self.engine.map_batch(named, jobs=jobs,
-                                                    pool=pool)]
+                for result in self.engine.map_batch(
+                    named, jobs=jobs, pool=pool, coalesce=coalesce)]
 
     def map_pair(self, read1: str, read2: str,
                  name: str = "pair"
@@ -546,6 +550,10 @@ class _MapperContexts:
                 from repro.core.pipeline import _ReadShardContext
                 self._contexts[mode] = _ReadShardContext(
                     self.mapper.engine)
+            elif mode == "reads_batched":
+                from repro.core.pipeline import _ReadShardContext
+                self._contexts[mode] = _ReadShardContext(
+                    self.mapper.engine, coalesce=True)
             elif mode == "pairs":
                 from repro.core.pairing import _PairShardContext
                 self._contexts[mode] = _PairShardContext(

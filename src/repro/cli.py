@@ -42,6 +42,69 @@ from repro.io.sam import result_to_sam, write_sam
 from repro.io.vcf import read_vcf
 
 
+def _add_engine_args(parser: argparse.ArgumentParser) -> None:
+    """Mapping-engine configuration flags, shared by ``map`` and
+    ``serve`` so a daemon and an offline run built from the same
+    flags produce byte-identical output."""
+    parser.add_argument("--error-rate", type=float, default=0.05)
+    parser.add_argument("-w", type=int, default=10)
+    parser.add_argument("-k", type=int, default=15)
+    parser.add_argument("--max-seeds", type=int, default=8)
+    parser.add_argument("--top-n", type=int, default=5,
+                        help="best alignments kept per read for MAPQ "
+                             "calibration and candidate-grid pairing "
+                             "(default 5; 1 = single winner)")
+    parser.add_argument("--hop-limit", type=int, default=None)
+    parser.add_argument("--both-strands", action="store_true")
+    parser.add_argument("--bucket-bits", type=int, default=14,
+                        help="hash-index bucket width (default 14)")
+    parser.add_argument("--chaining", action="store_true",
+                        help="enable the optional colinear-chaining "
+                             "filter (pipeline step 2 of Fig. 2)")
+    parser.add_argument("--early-exit-distance", type=int,
+                        default=None,
+                        help="stop scanning regions once an alignment "
+                             "at or below this distance is found")
+    parser.add_argument("--cache-size", type=int, default=128,
+                        help="LRU region-cache capacity in regions "
+                             "(0 disables; default 128)")
+    parser.add_argument("--align-backend", choices=list_backends(),
+                        default=None,
+                        help="alignment backend (default: "
+                             "$REPRO_ALIGN_BACKEND, else 'python'; "
+                             "results are identical across backends)")
+
+
+def _engine_config(args: argparse.Namespace) -> SeGraMConfig:
+    """The :class:`SeGraMConfig` described by :func:`_add_engine_args`
+    flags (``w``/``k``/``bucket_bits`` are overridden by the artifact
+    when attaching to one)."""
+    return SeGraMConfig(
+        w=args.w, k=args.k, bucket_bits=args.bucket_bits,
+        error_rate=args.error_rate,
+        windowing=WindowingConfig(),
+        max_seeds_per_read=args.max_seeds,
+        top_n_alignments=args.top_n,
+        hop_limit=args.hop_limit,
+        both_strands=args.both_strands,
+        chaining=args.chaining,
+        early_exit_distance=args.early_exit_distance,
+        region_cache_size=args.cache_size,
+        align_backend=args.align_backend,
+    )
+
+
+def _add_endpoint_args(parser: argparse.ArgumentParser) -> None:
+    """Service endpoint flags shared by ``serve`` and ``client``."""
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="TCP host (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=None,
+                        help="TCP port (0 = ephemeral for serve)")
+    parser.add_argument("--socket", type=Path, default=None,
+                        help="unix-domain socket path (instead of "
+                             "--port)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -142,35 +205,10 @@ def build_parser() -> argparse.ArgumentParser:
                          default=None,
                          help="output format (default: gaf, or sam "
                               "with --paired)")
-    map_cmd.add_argument("--error-rate", type=float, default=0.05)
-    map_cmd.add_argument("-w", type=int, default=10)
-    map_cmd.add_argument("-k", type=int, default=15)
-    map_cmd.add_argument("--max-seeds", type=int, default=8)
-    map_cmd.add_argument("--top-n", type=int, default=5,
-                         help="best alignments kept per read for MAPQ "
-                              "calibration and candidate-grid pairing "
-                              "(default 5; 1 = single winner)")
-    map_cmd.add_argument("--hop-limit", type=int, default=None)
-    map_cmd.add_argument("--both-strands", action="store_true")
-    map_cmd.add_argument("--bucket-bits", type=int, default=14,
-                         help="hash-index bucket width (default 14)")
-    map_cmd.add_argument("--chaining", action="store_true",
-                         help="enable the optional colinear-chaining "
-                              "filter (pipeline step 2 of Fig. 2)")
-    map_cmd.add_argument("--early-exit-distance", type=int, default=None,
-                         help="stop scanning regions once an alignment "
-                              "at or below this distance is found")
     map_cmd.add_argument("--jobs", type=int, default=1,
                          help="worker processes for batch mapping "
                               "(default 1 = sequential)")
-    map_cmd.add_argument("--cache-size", type=int, default=128,
-                         help="LRU region-cache capacity in regions "
-                              "(0 disables; default 128)")
-    map_cmd.add_argument("--align-backend", choices=list_backends(),
-                         default=None,
-                         help="alignment backend (default: "
-                              "$REPRO_ALIGN_BACKEND, else 'python'; "
-                              "results are identical across backends)")
+    _add_engine_args(map_cmd)
 
     stats = sub.add_parser("stats", help="graph statistics")
     stats.add_argument("--graph", required=True, type=Path)
@@ -201,6 +239,67 @@ def build_parser() -> argparse.ArgumentParser:
     model.add_argument("--error-rate", type=float, default=None)
     model.add_argument("--table1", action="store_true",
                        help="print the Table 1 area/power breakdown")
+
+    serve = sub.add_parser(
+        "serve",
+        help="long-lived mapping daemon over a .sgidx artifact "
+             "(line-oriented JSON protocol; see docs/service.md)")
+    serve.add_argument("--index", required=True, type=Path,
+                       help="pre-built .sgidx artifact ('repro index "
+                            "build'); loaded once, mmap-attached")
+    _add_endpoint_args(serve)
+    serve.add_argument("--jobs", type=int, default=1,
+                       help="persistent worker processes sharding "
+                            "each coalesced batch (default 1 = "
+                            "in-process)")
+    serve.add_argument("--batch-window-ms", type=float, default=2.0,
+                       help="micro-batch coalescing window in "
+                            "milliseconds (default 2)")
+    serve.add_argument("--batch-size", type=int, default=64,
+                       help="max reads per coalesced dispatch "
+                            "(default 64)")
+    serve.add_argument("--max-queue", type=int, default=1024,
+                       help="bounded-queue capacity in reads; "
+                            "beyond it requests get a typed "
+                            "'overloaded' error (default 1024)")
+    serve.add_argument("--timeout-s", type=float, default=30.0,
+                       help="per-request queue-wait timeout in "
+                            "seconds (0 disables; default 30)")
+    serve.add_argument("--serial", action="store_true",
+                       help="deterministic single-threaded test "
+                            "mode: dispatch each request inline, "
+                            "no coalescing thread")
+    _add_engine_args(serve)
+
+    client = sub.add_parser(
+        "client",
+        help="talk to a running 'repro serve' daemon")
+    client_sub = client.add_subparsers(dest="client_command",
+                                       required=True)
+
+    client_map = client_sub.add_parser(
+        "map", help="map reads through the daemon (SAM output "
+                    "byte-identical to offline 'repro map --index')")
+    _add_endpoint_args(client_map)
+    client_map.add_argument("--reads", required=True, type=Path,
+                            help="reads (FASTA/FASTQ)")
+    client_map.add_argument("--output", required=True, type=Path,
+                            help="SAM output path")
+    client_map.add_argument("--window", type=int, default=64,
+                            help="pipelined requests kept in flight "
+                                 "(default 64); the daemon coalesces "
+                                 "whatever is queued")
+    client_map.add_argument("--batch", action="store_true",
+                            help="send one map_batch request instead "
+                                 "of pipelined single-read requests")
+
+    for name, help_text in (
+            ("ping", "health-check the daemon"),
+            ("stats", "print the daemon's service + pipeline "
+                      "statistics (JSON)"),
+            ("shutdown", "ask the daemon to drain and stop")):
+        client_op = client_sub.add_parser(name, help=help_text)
+        _add_endpoint_args(client_op)
 
     return parser
 
@@ -377,19 +476,7 @@ def cmd_map(args: argparse.Namespace) -> int:
     if args.pool == "persistent" and index_path is None:
         raise SystemExit("error: --pool persistent requires --index "
                          "(workers attach to the artifact by path)")
-    config = SeGraMConfig(
-        w=args.w, k=args.k, bucket_bits=args.bucket_bits,
-        error_rate=args.error_rate,
-        windowing=WindowingConfig(),
-        max_seeds_per_read=args.max_seeds,
-        top_n_alignments=args.top_n,
-        hop_limit=args.hop_limit,
-        both_strands=args.both_strands,
-        chaining=args.chaining,
-        early_exit_distance=args.early_exit_distance,
-        region_cache_size=args.cache_size,
-        align_backend=args.align_backend,
-    )
+    config = _engine_config(args)
     pair_config = None
     if args.paired is not None:
         from repro.core.pairing import PairedEndConfig
@@ -602,6 +689,123 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     return report.exit_code()
 
 
+def _client_connect(args: argparse.Namespace):
+    """Connect a :class:`~repro.service.client.ServiceClient` to the
+    endpoint named by ``--socket`` or ``--host``/``--port``."""
+    from repro.service.client import ServiceClient
+
+    if args.socket is not None:
+        return ServiceClient.connect_unix(str(args.socket))
+    if args.port is None:
+        raise SystemExit("error: provide --port or --socket")
+    return ServiceClient.connect(args.host, args.port)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve --index ref.sgidx``: the mapping daemon."""
+    import signal
+
+    from repro.io.artifact import ArtifactError
+    from repro.service.core import ServiceCore
+    from repro.service.server import ServiceServer
+
+    if args.port is None and args.socket is None:
+        raise SystemExit("error: provide --port or --socket")
+    if args.port is not None and args.socket is not None:
+        raise SystemExit("error: --port and --socket are exclusive")
+    try:
+        mapper = Mapper.from_artifact(args.index,
+                                      config=_engine_config(args))
+    except ArtifactError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    core = ServiceCore(
+        mapper,
+        jobs=args.jobs,
+        batch_window_s=args.batch_window_ms / 1000.0,
+        batch_size=args.batch_size,
+        max_queue=args.max_queue,
+        timeout_s=args.timeout_s if args.timeout_s > 0 else None,
+        mode="serial" if args.serial else "thread",
+    )
+    if args.socket is not None:
+        server = ServiceServer.unix(core, args.socket)
+    else:
+        server = ServiceServer.tcp(core, args.host, args.port)
+    # Restore the previous dispositions on exit: leaving the
+    # daemon's handlers installed in an embedding process (tests,
+    # programmatic ``main()`` callers) would also leak into every
+    # later ``fork`` — a pool worker inheriting this handler ignores
+    # ``Pool.terminate()``'s SIGTERM and never exits.
+    previous = {
+        signum: signal.signal(signum,
+                              lambda *_: server.begin_shutdown())
+        for signum in (signal.SIGINT, signal.SIGTERM)
+    }
+    print(f"serving {args.index} on {server.address} "
+          f"(jobs={args.jobs}, batch={args.batch_size}, "
+          f"window={args.batch_window_ms}ms"
+          f"{', serial' if args.serial else ''})", flush=True)
+    try:
+        server.serve_forever()
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+    snapshot = core.counters.snapshot()
+    print(f"stopped after {snapshot['requests_total']} requests "
+          f"({snapshot['reads_mapped']} reads, "
+          f"{snapshot['pairs_mapped']} pairs mapped)")
+    return 0
+
+
+def cmd_client(args: argparse.Namespace) -> int:
+    """``repro client <op>``: drive a running daemon."""
+    from repro.service.protocol import ServiceError
+
+    try:
+        return _run_client(args)
+    except ServiceError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    except (ConnectionError, OSError) as exc:
+        raise SystemExit(
+            f"error: cannot reach the daemon: {exc}") from None
+
+
+def _run_client(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.io.sam import SamRecord
+
+    if args.client_command == "ping":
+        with _client_connect(args) as client:
+            print(json.dumps(client.ping(), sort_keys=True))
+        return 0
+    if args.client_command == "stats":
+        with _client_connect(args) as client:
+            print(json.dumps(client.stats(), sort_keys=True,
+                             indent=2))
+        return 0
+    if args.client_command == "shutdown":
+        with _client_connect(args) as client:
+            client.shutdown()
+        print("daemon stopping")
+        return 0
+
+    # client map
+    reads = _load_reads(args.reads)
+    with _client_connect(args) as client:
+        contigs = client.contigs()
+        if args.batch:
+            payloads = client.map_batch(reads)
+        else:
+            payloads = client.map_stream(reads, window=args.window)
+    records = [SamRecord(**payload["sam"]) for payload in payloads]
+    write_sam(args.output, records, contigs=contigs)
+    mapped = sum(1 for p in payloads if p["record"]["mapped"])
+    print(f"mapped {mapped}/{len(reads)} reads -> {args.output} "
+          f"(sam, via daemon)")
+    return 0
+
+
 _COMMANDS = {
     "construct": cmd_construct,
     "index": cmd_index,
@@ -609,6 +813,8 @@ _COMMANDS = {
     "stats": cmd_stats,
     "analyze": cmd_analyze,
     "model": cmd_model,
+    "serve": cmd_serve,
+    "client": cmd_client,
 }
 
 

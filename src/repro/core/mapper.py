@@ -389,7 +389,8 @@ class SeGraM:
         return self.map_batch(reads, jobs=jobs)
 
     def map_batch(self, reads: Iterable[tuple[str, str]],
-                  jobs: int = 1, pool=None) -> list[MappingResult]:
+                  jobs: int = 1, pool=None,
+                  coalesce: bool = False) -> list[MappingResult]:
         """Map a batch of (name, sequence) pairs, optionally sharded
         across ``jobs`` worker processes.
 
@@ -398,11 +399,35 @@ class SeGraM:
         into ``self.pipeline.stats``.  A
         :class:`~repro.core.pipeline.PersistentPool` dispatches the
         shards to standing artifact-attached workers instead (``jobs``
-        is then ignored).  Results are returned in input order and are
-        identical to calling :meth:`map_read` per read — the
-        batch/sequential parity contract the tests enforce.
+        is then ignored).  ``coalesce=True`` maps each shard through
+        one cross-read batched kernel dispatch
+        (:meth:`map_reads_coalesced`) instead of a per-read loop.
+        Results are returned in input order and are identical to
+        calling :meth:`map_read` per read — the batch/sequential
+        parity contract the tests enforce — for any ``jobs``, pool
+        mode, and ``coalesce`` setting.
         """
-        return map_batch_sharded(self, list(reads), jobs, pool=pool)
+        return map_batch_sharded(self, list(reads), jobs, pool=pool,
+                                 coalesce=coalesce)
+
+    def map_reads_coalesced(
+            self, reads: Iterable[tuple[str, str]],
+    ) -> list[MappingResult]:
+        """Map (name, sequence) pairs through **one** cross-read
+        batched alignment dispatch (in-process, no sharding).
+
+        Bit-for-bit identical to a :meth:`map_read` loop; the windows
+        of every read, region, and orientation share kernel calls
+        (see :meth:`~repro.core.pipeline.MappingPipeline.
+        map_reads_batched`).  This is the dispatch shape the mapping
+        service's micro-batcher feeds.
+        """
+        validated = [
+            (name, seqmod.validate(sequence, "read",
+                                   allow_ambiguous=True))
+            for name, sequence in reads
+        ]
+        return self.pipeline.map_reads_batched(validated)
 
     # ------------------------------------------------------------------
     # Paired-end mapping

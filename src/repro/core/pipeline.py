@@ -889,6 +889,53 @@ class MappingPipeline:
             item = stage.run(item, self)
         return self.align_stage.collect(item, self)
 
+    def map_reads_batched(
+        self, reads: Sequence[tuple[str, str]],
+    ) -> "list[MappingResult]":
+        """Map many ``(name, sequence)`` reads through **one**
+        cross-read batched alignment dispatch.
+
+        The per-read path (:meth:`map_read`) already batches the
+        windows of one read's regions and orientations into shared
+        kernel calls; this entry point widens the batch axis across
+        *reads*: stages 1-3 run per oriented read in input order
+        (identical region-cache traffic), then every collected region
+        of every read goes through a single
+        :meth:`~repro.core.windows.WindowedAligner.align_many`
+        dispatch, and stage 5 selects per read.  Results are
+        bit-for-bit identical to mapping each read alone — batching
+        changes *when* kernel work happens, never what is computed.
+        This is the dispatch shape the mapping service's micro-batch
+        coalescer feeds (:mod:`repro.service`): the wider the batch,
+        the better the word-packed kernel amortizes per-dispatch
+        overhead.
+
+        With ``early_exit_distance`` set the sequential per-read
+        drive is kept (the exit decision consumes each alignment in
+        turn), exactly as :meth:`map_read` does.
+        """
+        if self.config.early_exit_distance is not None:
+            return [self.map_read(sequence, name)
+                    for name, sequence in reads]
+        collected: list[CollectedRead] = []
+        spans: list[int] = []
+        for name, sequence in reads:
+            per_read = [self._collect_oriented(sequence, name, "+")]
+            if self.config.both_strands:
+                per_read.append(self._collect_oriented(
+                    seqmod.reverse_complement(sequence), name, "-"))
+            spans.append(len(per_read))
+            collected.extend(per_read)
+        results = self._align_collected(collected)
+        out: "list[MappingResult]" = []
+        cursor = 0
+        for span in spans:
+            forward = results[cursor]
+            reverse = results[cursor + 1] if span == 2 else None
+            cursor += span
+            out.append(self.select.run(forward, reverse, self))
+        return out
+
     def _align_collected(
         self, collected: list[CollectedRead],
     ) -> "list[MappingResult]":
@@ -1134,12 +1181,21 @@ def run_sharded(context: ShardContext, items: Sequence,
 
 
 class _ReadShardContext(ShardContext):
-    """Shard context for single-end ``map_batch``."""
+    """Shard context for single-end ``map_batch``.
 
-    def __init__(self, mapper: "SeGraM") -> None:
+    ``coalesce=True`` maps each shard through the cross-read batched
+    dispatch (:meth:`MappingPipeline.map_reads_batched`) instead of a
+    per-read loop — same results, fewer kernel calls.
+    """
+
+    def __init__(self, mapper: "SeGraM",
+                 coalesce: bool = False) -> None:
         self.mapper = mapper
+        self.coalesce = coalesce
 
     def map_items(self, reads):
+        if self.coalesce:
+            return self.mapper.map_reads_coalesced(reads)
         return [self.mapper.map_read(sequence, name)
                 for name, sequence in reads]
 
@@ -1158,8 +1214,15 @@ def map_batch_sharded(
     reads: Sequence[tuple[str, str]],
     jobs: int,
     pool: "PersistentPool | None" = None,
+    coalesce: bool = False,
 ) -> "list[MappingResult]":
     """Shard ``reads`` across workers (see :func:`run_sharded` for
-    the sharing/merging contract and the two pool modes)."""
-    return run_sharded(_ReadShardContext(mapper), reads, jobs,
-                       pool=pool, mode="reads")
+    the sharing/merging contract and the two pool modes).
+
+    ``coalesce=True`` selects the cross-read batched dispatch inside
+    each worker (the ``"reads_batched"`` pool mode) — bit-identical
+    results, fewer kernel calls per shard.
+    """
+    return run_sharded(_ReadShardContext(mapper, coalesce=coalesce),
+                       reads, jobs, pool=pool,
+                       mode="reads_batched" if coalesce else "reads")

@@ -26,3 +26,16 @@ class PathWorkerFactory:
 
 def build_pool(PersistentPool, factory):
     return PersistentPool(factory, 2)
+
+
+class RequestBatcher:
+    def __init__(self):
+        self.pending = []
+
+    def drain(self, items):
+        self.pending.extend(items)
+        return list(self.pending)
+
+
+def build_mapper_pool(mapper):
+    return mapper.pool(2)

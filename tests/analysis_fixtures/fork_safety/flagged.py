@@ -25,3 +25,13 @@ class HandleWorkerFactory:
 
 def build_pool(PersistentPool, items):
     return PersistentPool(lambda: items, 2)
+
+
+class RequestBatcher:
+    def drain(self, items):
+        _RESULTS.extend(items)
+        return items
+
+
+def build_mapper_pool(mapper, items):
+    return mapper.pool(lambda: items, 2)

@@ -424,3 +424,96 @@ class TestIndexArtifact:
     def test_index_without_subcommand_or_graph_errors(self):
         with pytest.raises(SystemExit):
             main(["index"])
+
+
+class TestServeClient:
+    """``repro serve`` + ``repro client``: the daemon through the CLI.
+
+    The daemon runs in the test's main thread (``serve`` installs
+    signal handlers, which only works there); a helper thread plays
+    the operator, driving ``repro client`` against the unix socket
+    and finally requesting shutdown so ``serve`` returns.
+    """
+
+    def test_serve_client_sam_byte_identical(self, workspace,
+                                             capsys, tmp_path):
+        import signal
+        import threading
+        import time as time_mod
+
+        root, *_ = workspace
+        main(["index", "build", str(root / "ref.fa"),
+              "-o", str(tmp_path / "serve.sgidx")])
+        main(["map", "--index", str(tmp_path / "serve.sgidx"),
+              "--reads", str(root / "reads.fq"),
+              "--output", str(tmp_path / "offline.sam"),
+              "--format", "sam"])
+        socket_path = tmp_path / "svc.sock"
+        codes = {}
+
+        def operator():
+            for _ in range(200):
+                if socket_path.exists():
+                    break
+                time_mod.sleep(0.05)
+            codes["ping"] = main(
+                ["client", "ping", "--socket", str(socket_path)])
+            codes["map"] = main(
+                ["client", "map", "--socket", str(socket_path),
+                 "--reads", str(root / "reads.fq"),
+                 "--output", str(tmp_path / "served.sam")])
+            codes["batch"] = main(
+                ["client", "map", "--socket", str(socket_path),
+                 "--reads", str(root / "reads.fq"), "--batch",
+                 "--output", str(tmp_path / "served_batch.sam")])
+            codes["stats"] = main(
+                ["client", "stats", "--socket", str(socket_path)])
+            codes["shutdown"] = main(
+                ["client", "shutdown", "--socket",
+                 str(socket_path)])
+
+        handlers_before = {
+            signum: signal.getsignal(signum)
+            for signum in (signal.SIGINT, signal.SIGTERM)
+        }
+        thread = threading.Thread(target=operator)
+        thread.start()
+        code = main(["serve", "--index",
+                     str(tmp_path / "serve.sgidx"),
+                     "--socket", str(socket_path),
+                     "--batch-window-ms", "3"])
+        thread.join()
+        assert code == 0
+        # serve must restore the process signal dispositions: its
+        # handler leaking into this (embedding) process would also be
+        # inherited by every later fork, where it swallows the
+        # SIGTERM that Pool.terminate() relies on.
+        for signum, handler in handlers_before.items():
+            assert signal.getsignal(signum) is handler
+        assert codes == {"ping": 0, "map": 0, "batch": 0,
+                         "stats": 0, "shutdown": 0}
+        offline = (tmp_path / "offline.sam").read_bytes()
+        assert (tmp_path / "served.sam").read_bytes() == offline
+        assert (tmp_path / "served_batch.sam").read_bytes() == offline
+        out = capsys.readouterr().out
+        assert "serving" in out and "stopped after" in out
+
+    def test_serve_requires_endpoint(self, workspace, tmp_path):
+        root, *_ = workspace
+        main(["index", "build", str(root / "ref.fa"),
+              "-o", str(tmp_path / "ep.sgidx")])
+        with pytest.raises(SystemExit, match="--port or --socket"):
+            main(["serve", "--index", str(tmp_path / "ep.sgidx")])
+        with pytest.raises(SystemExit, match="exclusive"):
+            main(["serve", "--index", str(tmp_path / "ep.sgidx"),
+                  "--port", "0", "--socket",
+                  str(tmp_path / "x.sock")])
+
+    def test_client_requires_endpoint(self):
+        with pytest.raises(SystemExit, match="--port or --socket"):
+            main(["client", "ping"])
+
+    def test_client_unreachable_daemon(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot reach"):
+            main(["client", "ping", "--socket",
+                  str(tmp_path / "nowhere.sock")])

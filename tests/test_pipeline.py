@@ -311,6 +311,55 @@ class TestBatchParity:
         assert mapper.map_batch([], jobs=4) == []
 
 
+class TestCoalescedParity:
+    """``coalesce=True`` (the service's cross-read batched dispatch)
+    must stay bit-for-bit identical to the per-read loop — same
+    results for every jobs count, backend, and strand setting."""
+
+    @pytest.fixture(scope="class")
+    def sequential(self, workload):
+        reference, reads = workload
+        mapper = _fresh_mapper(reference)
+        return [mapper.map_read(sequence, name)
+                for name, sequence in reads]
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    @pytest.mark.parametrize("backend", ["python", "numpy"])
+    def test_parity(self, workload, sequential, jobs, backend):
+        reference, reads = workload
+        mapper = _fresh_mapper(reference, align_backend=backend)
+        batch = mapper.map_batch(reads, jobs=jobs, coalesce=True)
+        assert [_result_key(r) for r in batch] == \
+            [_result_key(r) for r in sequential]
+
+    def test_parity_both_strands(self, workload):
+        reference, reads = workload
+        plain = _fresh_mapper(reference, both_strands=True)
+        coalesced = _fresh_mapper(reference, both_strands=True)
+        assert [_result_key(r) for r in
+                coalesced.map_batch(reads, coalesce=True)] == \
+            [_result_key(r) for r in plain.map_batch(reads)]
+
+    def test_coalesced_shares_kernel_dispatches(self, workload):
+        reference, reads = workload
+        per_read = _fresh_mapper(reference, align_backend="numpy")
+        per_read.map_batch(reads)
+        coalesced = _fresh_mapper(reference, align_backend="numpy")
+        coalesced.map_batch(reads, coalesce=True)
+        # Result-bearing counters unchanged; dispatch count shrinks.
+        assert coalesced.stats.windows == per_read.stats.windows
+        assert coalesced.stats.align_calls \
+            < per_read.stats.align_calls
+
+    def test_early_exit_falls_back_to_per_read(self, workload):
+        reference, reads = workload
+        mapper = _fresh_mapper(reference, early_exit_distance=1000)
+        baseline = _fresh_mapper(reference, early_exit_distance=1000)
+        assert [_result_key(r) for r in
+                mapper.map_batch(reads, coalesce=True)] == \
+            [_result_key(r) for r in baseline.map_batch(reads)]
+
+
 def _counter_key(stats: PipelineStats):
     """Every pipeline counter except wall time."""
     return (
