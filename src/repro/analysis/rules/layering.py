@@ -43,6 +43,10 @@ _LAYERS: dict[str, int] = {
     "repro.index": 1,
     "repro.align": 1,
     "repro.io": 2,
+    # Explicit entry for the streaming input front-end: it chunks
+    # the layer-2 format parsers and must never import upward into
+    # the mapper it feeds (docs/architecture.md "Package layout").
+    "repro.io.stream": 2,
     "repro.refs": 2,
     "repro.sim": 2,
     "repro.core": 3,

@@ -27,7 +27,7 @@ from pathlib import Path
 from typing import Sequence
 
 from repro.align.backends import list_backends
-from repro.api import Mapper, MappingRecord
+from repro.api import Mapper
 from repro.core.mapper import SeGraMConfig
 from repro.core.pipeline import effective_jobs
 from repro.core.windows import WindowingConfig
@@ -37,8 +37,14 @@ from repro.graph.gfa import read_gfa, write_gfa
 from repro.graph.linearize import hop_coverage, hop_length_distribution
 from repro.index.hash_index import build_index
 from repro.io.fasta import read_fasta, read_sequences
-from repro.io.gaf import result_to_gaf, write_gaf
-from repro.io.sam import result_to_sam, write_sam
+from repro.io.gaf import GafWriter, result_to_gaf
+from repro.io.sam import SamWriter, result_to_sam
+from repro.io.stream import (
+    DEFAULT_CHUNK_SIZE,
+    ReadChunker,
+    iter_mate_pairs,
+    iter_reads,
+)
 from repro.io.vcf import read_vcf
 
 
@@ -208,6 +214,27 @@ def build_parser() -> argparse.ArgumentParser:
     map_cmd.add_argument("--jobs", type=int, default=1,
                          help="worker processes for batch mapping "
                               "(default 1 = sequential)")
+    map_cmd.add_argument("--input-mode", choices=("stream", "mem"),
+                         default="stream",
+                         help="'stream' (default) consumes reads "
+                              "incrementally in --chunk-size batches "
+                              "with bounded peak memory; 'mem' "
+                              "materializes the whole file first. "
+                              "Output bytes are identical either way")
+    map_cmd.add_argument("--chunk-size", type=int,
+                         default=DEFAULT_CHUNK_SIZE,
+                         help="reads per mapping batch in streaming "
+                              f"mode (default {DEFAULT_CHUNK_SIZE})")
+    map_cmd.add_argument("--sort-sam", action="store_true",
+                         help="coordinate-sort SAM output (@SQ order, "
+                              "then POS) via a bounded-memory "
+                              "external merge; implies SO:coordinate "
+                              "in the header (SAM output only)")
+    map_cmd.add_argument("--qualified-paths", action="store_true",
+                         help="emit GAF path segments as "
+                              "<contig>#<node-id> so mixed GFA+FASTA "
+                              "reference sets stay self-describing "
+                              "(GAF output only)")
     _add_engine_args(map_cmd)
 
     stats = sub.add_parser("stats", help="graph statistics")
@@ -290,8 +317,15 @@ def build_parser() -> argparse.ArgumentParser:
                                  "(default 64); the daemon coalesces "
                                  "whatever is queued")
     client_map.add_argument("--batch", action="store_true",
-                            help="send one map_batch request instead "
-                                 "of pipelined single-read requests")
+                            help="send one map_batch request per "
+                                 "chunk instead of pipelined "
+                                 "single-read requests")
+    client_map.add_argument("--chunk-size", type=int,
+                            default=DEFAULT_CHUNK_SIZE,
+                            help="reads streamed per dispatch "
+                                 f"(default {DEFAULT_CHUNK_SIZE}); "
+                                 "peak client memory stays bounded "
+                                 "by one chunk")
 
     for name, help_text in (
             ("ping", "health-check the daemon"),
@@ -451,6 +485,17 @@ def cmd_map(args: argparse.Namespace) -> int:
         raise SystemExit("error: --top-n must be >= 1")
     if args.discordant_out is not None and args.paired is None:
         raise SystemExit("error: --discordant-out requires --paired")
+    if args.chunk_size < 1:
+        raise SystemExit("error: --chunk-size must be >= 1")
+    # --paired always emits SAM; single-end defaults to GAF.
+    out_format = "sam" if args.paired is not None \
+        else (args.format or "gaf")
+    if args.sort_sam and out_format != "sam":
+        raise SystemExit("error: --sort-sam requires SAM output "
+                         "(--format sam or --paired)")
+    if args.qualified_paths and out_format != "gaf":
+        raise SystemExit("error: --qualified-paths applies to GAF "
+                         "output only")
     if args.align_backend is None:
         # --align-backend is validated by argparse choices; the env
         # fallback must be validated just as eagerly, or a bogus
@@ -510,30 +555,69 @@ def cmd_map(args: argparse.Namespace) -> int:
             pool.close()
 
 
+def _read_chunks(args: argparse.Namespace):
+    """Read batches for ``map``: one whole-file batch in ``mem``
+    mode, bounded ``--chunk-size`` batches in ``stream`` mode.
+
+    Chunk boundaries never change output bytes (``map_batch`` is
+    order-preserving and per-read deterministic), only peak memory.
+    """
+    if args.input_mode == "mem":
+        reads = _load_reads(args.reads)
+        if reads:
+            yield reads
+        return
+    yield from ReadChunker(args.chunk_size).chunks(
+        iter_reads(args.reads))
+
+
 def _map_reads(args: argparse.Namespace, mapper: Mapper,
                pool=None) -> int:
-    """The mapping half of ``cmd_map`` (mapper already constructed)."""
+    """The mapping half of ``cmd_map`` (mapper already constructed).
+
+    Reads are consumed chunk by chunk and records written as each
+    batch completes, so peak memory is one chunk regardless of input
+    size; ``--input-mode mem`` degenerates to a single batch.
+    """
     if args.paired is not None:
         return _map_paired(args, mapper, pool)
     out_format = args.format or "gaf"
-    reads = _load_reads(args.reads)
-    records = mapper.map_batch(reads, jobs=args.jobs, pool=pool)
-    results = [(record, seq)
-               for record, (_, seq) in zip(records, reads)]
-    mapped = sum(1 for r, _ in results if r.mapped)
+    refs = mapper.reference if args.qualified_paths else None
+    total = 0
+    mapped = 0
+    mapped_by_contig: dict[str, int] = {}
+    writer: GafWriter | SamWriter
     if out_format == "gaf":
-        gaf = [result_to_gaf(r.result, mapper.graph, seq)
-               for r, seq in results]
-        write_gaf(args.output, [r for r in gaf if r is not None])
+        writer = GafWriter(args.output)
     else:
-        sam = [result_to_sam(r.result, seq, r.contig)
-               for r, seq in results]
-        write_sam(args.output, sam, contigs=mapper.contigs)
-    print(f"mapped {mapped}/{len(reads)} reads -> {args.output} "
+        writer = SamWriter(args.output, contigs=mapper.contigs,
+                           sort=args.sort_sam)
+    try:
+        for chunk in _read_chunks(args):
+            records = mapper.map_batch(chunk, jobs=args.jobs,
+                                       pool=pool)
+            for record, (_, seq) in zip(records, chunk):
+                total += 1
+                if record.mapped:
+                    mapped += 1
+                    if record.contig is not None:
+                        mapped_by_contig[record.contig] = \
+                            mapped_by_contig.get(record.contig, 0) + 1
+                if out_format == "gaf":
+                    gaf = result_to_gaf(record.result, mapper.graph,
+                                        seq, refs=refs)
+                    if gaf is not None:
+                        writer.write(gaf)
+                else:
+                    writer.write(result_to_sam(record.result, seq,
+                                               record.contig))
+    finally:
+        writer.close()
+    print(f"mapped {mapped}/{total} reads -> {args.output} "
           f"({out_format})")
-    _print_contig_rows(mapper, records)
+    _print_contig_rows(mapper, mapped_by_contig)
     stats = mapper.stats
-    jobs = effective_jobs(args.jobs, len(reads))
+    jobs = effective_jobs(args.jobs, total)
     print(format_table(
         stats.stage_rows(),
         title=f"pipeline stages (jobs={jobs}, "
@@ -544,14 +628,13 @@ def _map_reads(args: argparse.Namespace, mapper: Mapper,
 
 
 def _print_contig_rows(mapper: Mapper,
-                       records: "list[MappingRecord]",
+                       mapped_by_contig: dict[str, int],
                        proper_by_contig: dict | None = None) -> None:
-    """The per-contig breakdown table of ``map`` / ``map --paired``."""
-    mapped_by_contig: dict[str, int] = {}
-    for record in records:
-        if record.mapped and record.contig is not None:
-            mapped_by_contig[record.contig] = \
-                mapped_by_contig.get(record.contig, 0) + 1
+    """The per-contig breakdown table of ``map`` / ``map --paired``.
+
+    Takes pre-accumulated counts (not the records themselves) so the
+    streaming paths never have to hold every record in memory.
+    """
     rows = []
     for name, length in mapper.contigs:
         row = {"contig": name, "length": length,
@@ -562,48 +645,80 @@ def _print_contig_rows(mapper: Mapper,
     print(format_table(rows, title="per-contig"))
 
 
+def _pair_chunks(args: argparse.Namespace):
+    """Mate-pair batches for ``map --paired`` (see
+    :func:`_read_chunks`); both files stream in lockstep."""
+    if args.input_mode == "mem":
+        from repro.io.fasta import read_mate_pairs
+
+        pairs = read_mate_pairs(args.reads, args.paired)
+        if pairs:
+            yield pairs
+        return
+    yield from ReadChunker(args.chunk_size).chunks(
+        iter_mate_pairs(args.reads, args.paired))
+
+
 def _map_paired(args: argparse.Namespace, mapper: Mapper,
                 pool=None) -> int:
     """The ``map --paired`` flow: FR pairs to pair-aware SAM.
 
     The insert-size model (``--insert-mean``/``--insert-std``/
     ``--no-mate-rescue``) was already handed to the :class:`Mapper`
-    constructor in :func:`cmd_map`.
+    constructor in :func:`cmd_map`.  Pairs stream through in chunks;
+    only the (rare) discordant pair results are retained when
+    ``--discordant-out`` asks for the report.
     """
-    from repro.io.fasta import read_mate_pairs
     from repro.io.sam import pair_to_sam
 
     if args.format == "gaf":
         print("note: --paired emits SAM (pair flags have no GAF "
               "equivalent); writing SAM", file=sys.stderr)
-    pairs = [(name, r1.upper(), r2.upper())
-             for name, r1, r2 in read_mate_pairs(args.reads,
-                                                 args.paired)]
-    records = mapper.map_pairs(pairs, jobs=args.jobs, pool=pool)
-    sam = []
-    flat: "list[MappingRecord]" = []
+    total = 0
+    proper = 0
     proper_by_contig: dict[str, int] = {}
-    for (rec1, rec2), (_, read1, read2) in zip(records, pairs):
-        sam.extend(pair_to_sam(rec1.pair, read1, read2))
-        flat.extend((rec1, rec2))
-        if rec1.proper_pair and rec1.contig is not None:
-            proper_by_contig[rec1.contig] = \
-                proper_by_contig.get(rec1.contig, 0) + 1
-    write_sam(args.output, sam, contigs=mapper.contigs)
-    results = [rec1.pair for rec1, _ in records]
-    proper = sum(1 for pair in results if pair.proper)
-    print(f"mapped {proper}/{len(pairs)} proper pairs -> "
+    mapped_by_contig: dict[str, int] = {}
+    discordant: list = []
+    writer = SamWriter(args.output, contigs=mapper.contigs,
+                       sort=args.sort_sam)
+    try:
+        for raw_chunk in _pair_chunks(args):
+            chunk = [(name, r1.upper(), r2.upper())
+                     for name, r1, r2 in raw_chunk]
+            records = mapper.map_pairs(chunk, jobs=args.jobs,
+                                       pool=pool)
+            for (rec1, rec2), (_, read1, read2) in zip(records,
+                                                       chunk):
+                total += 1
+                for sam_record in pair_to_sam(rec1.pair, read1,
+                                              read2):
+                    writer.write(sam_record)
+                for rec in (rec1, rec2):
+                    if rec.mapped and rec.contig is not None:
+                        mapped_by_contig[rec.contig] = \
+                            mapped_by_contig.get(rec.contig, 0) + 1
+                if rec1.proper_pair and rec1.contig is not None:
+                    proper_by_contig[rec1.contig] = \
+                        proper_by_contig.get(rec1.contig, 0) + 1
+                if rec1.pair.proper:
+                    proper += 1
+                if args.discordant_out is not None \
+                        and rec1.pair.discordant:
+                    discordant.append(rec1.pair)
+    finally:
+        writer.close()
+    print(f"mapped {proper}/{total} proper pairs -> "
           f"{args.output} (sam)")
     if args.discordant_out is not None:
         from repro.io.discordant import write_discordant_report
 
         written = write_discordant_report(args.discordant_out,
-                                          results)
+                                          discordant)
         print(f"wrote {written} discordant pairs -> "
               f"{args.discordant_out}")
-    _print_contig_rows(mapper, flat, proper_by_contig)
+    _print_contig_rows(mapper, mapped_by_contig, proper_by_contig)
     stats = mapper.stats
-    jobs = effective_jobs(args.jobs, len(pairs))
+    jobs = effective_jobs(args.jobs, total)
     print(format_table(
         stats.stage_rows(),
         title=f"pipeline stages (jobs={jobs}, "
@@ -790,18 +905,29 @@ def _run_client(args: argparse.Namespace) -> int:
         print("daemon stopping")
         return 0
 
-    # client map
-    reads = _load_reads(args.reads)
+    # client map: reads stream through in --chunk-size batches, SAM
+    # records land as each batch returns — peak client memory is one
+    # chunk regardless of input size.
+    if args.chunk_size < 1:
+        raise SystemExit("error: --chunk-size must be >= 1")
+    total = 0
+    mapped = 0
     with _client_connect(args) as client:
         contigs = client.contigs()
-        if args.batch:
-            payloads = client.map_batch(reads)
-        else:
-            payloads = client.map_stream(reads, window=args.window)
-    records = [SamRecord(**payload["sam"]) for payload in payloads]
-    write_sam(args.output, records, contigs=contigs)
-    mapped = sum(1 for p in payloads if p["record"]["mapped"])
-    print(f"mapped {mapped}/{len(reads)} reads -> {args.output} "
+        with SamWriter(args.output, contigs=contigs) as writer:
+            chunker = ReadChunker(args.chunk_size)
+            for chunk in chunker.chunks(iter_reads(args.reads)):
+                if args.batch:
+                    payloads = client.map_batch(chunk)
+                else:
+                    payloads = client.map_stream(chunk,
+                                                 window=args.window)
+                for payload in payloads:
+                    writer.write(SamRecord(**payload["sam"]))
+                    total += 1
+                    if payload["record"]["mapped"]:
+                        mapped += 1
+    print(f"mapped {mapped}/{total} reads -> {args.output} "
           f"(sam, via daemon)")
     return 0
 

@@ -15,8 +15,26 @@ from repro.io.fasta import (
     write_fastq,
 )
 from repro.io.vcf import VcfRecord, read_vcf, write_vcf
-from repro.io.sam import SamRecord, read_sam, result_to_sam, write_sam
-from repro.io.gaf import GafRecord, read_gaf, result_to_gaf, write_gaf
+from repro.io.sam import (
+    SamRecord,
+    SamWriter,
+    read_sam,
+    result_to_sam,
+    write_sam,
+)
+from repro.io.gaf import (
+    GafRecord,
+    GafWriter,
+    read_gaf,
+    result_to_gaf,
+    write_gaf,
+)
+from repro.io.stream import (
+    ReadChunker,
+    TruncatedInputError,
+    iter_mate_pairs,
+    iter_reads,
+)
 from repro.io.artifact import (
     ArtifactError,
     LoadedArtifact,
@@ -41,11 +59,17 @@ __all__ = [
     "read_vcf",
     "write_vcf",
     "SamRecord",
+    "SamWriter",
     "read_sam",
     "result_to_sam",
     "write_sam",
     "GafRecord",
+    "GafWriter",
     "read_gaf",
     "result_to_gaf",
     "write_gaf",
+    "ReadChunker",
+    "TruncatedInputError",
+    "iter_mate_pairs",
+    "iter_reads",
 ]

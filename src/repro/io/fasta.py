@@ -12,7 +12,6 @@ raise :class:`FastaFormatError` rather than being silently skipped.
 from __future__ import annotations
 
 import gzip
-import io
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Iterator, TextIO, Union
@@ -220,42 +219,33 @@ def read_mate_pairs(
     ``/2`` suffix — a mismatch raises :class:`FastaFormatError`, since
     silently pairing unrelated reads corrupts every downstream pair
     statistic.  Each file may independently be FASTA or FASTQ.
+
+    The two files are streamed *in lockstep* — record ``i`` of each
+    side is compared before record ``i + 1`` is read, so the first
+    mismatch raises with its record index and neither file is ever
+    materialized whole (the historical implementation read both
+    files into RAM before noticing a divergence in record 0).
     """
-    reads1 = read_sequences(source1)
-    reads2 = read_sequences(source2)
-    if len(reads1) != len(reads2):
-        raise FastaFormatError(
-            f"mate files disagree: {len(reads1)} vs {len(reads2)} "
-            "records"
-        )
-    pairs: list[tuple[str, str, str]] = []
-    for (name1, seq1), (name2, seq2) in zip(reads1, reads2):
-        base1 = mate_base_name(name1)
-        base2 = mate_base_name(name2)
-        if base1 != base2:
-            raise FastaFormatError(
-                f"mate name mismatch: {name1!r} vs {name2!r}"
-            )
-        pairs.append((base1, seq1, seq2))
-    return pairs
+    # Function-level import: repro.io.stream builds on this module's
+    # record vocabulary, so the streaming direction of the dependency
+    # must resolve lazily.
+    from repro.io.stream import iter_mate_pairs
+
+    return list(iter_mate_pairs(source1, source2))
 
 
 def read_sequences(source: PathOrHandle) -> list[tuple[str, str]]:
     """Read ``(name, sequence)`` pairs from FASTA *or* FASTQ.
 
     Format detection: a leading ``@`` means FASTQ, anything else is
-    parsed as FASTA (matching the ``map`` CLI's sniffing).
+    parsed as FASTA (matching the ``map`` CLI's sniffing).  The
+    records come from the streaming parser
+    (:func:`repro.io.stream.iter_reads`), which sniffs the format
+    from the first line instead of slurping the file to look at it.
     """
-    handle, owned = _open_for_read(source)
-    try:
-        text = handle.read()
-    finally:
-        if owned:
-            handle.close()
-    handle = io.StringIO(text)
-    if text.lstrip().startswith("@"):
-        return [(r.name, r.sequence) for r in read_fastq(handle)]
-    return [(r.name, r.sequence) for r in read_fasta(handle)]
+    from repro.io.stream import iter_reads
+
+    return list(iter_reads(source))
 
 
 def write_fastq(target: PathOrHandle, records: Iterable[FastqRecord]) -> None:

@@ -259,12 +259,175 @@ def pair_to_sam(pair: "PairResult", read1: str, read2: str,
     return rec1, rec2
 
 
+def sam_record_line(record: SamRecord) -> str:
+    """The tab-separated SAM line of one record (with newline)."""
+    fields = [
+        record.qname, str(record.flag), record.rname,
+        str(record.pos), str(record.mapq), record.cigar,
+        record.rnext, str(record.pnext), str(record.tlen),
+        record.seq, "*",
+    ]
+    if record.edit_distance is not None:
+        fields.append(f"NM:i:{record.edit_distance}")
+    if record.pair_category is not None:
+        fields.append(f"YC:Z:{record.pair_category}")
+    return "\t".join(fields) + "\n"
+
+
+def _resolve_contigs(
+    reference_name: str | None,
+    reference_length: int | None,
+    contigs: "Iterable[tuple[str, int]] | None",
+) -> list[tuple[str, int]]:
+    """The @SQ contig list from either header form (exactly one)."""
+    if contigs is None:
+        if reference_name is None or reference_length is None:
+            raise ValueError(
+                "write_sam needs either contigs or "
+                "reference_name + reference_length"
+            )
+        return [(reference_name, reference_length)]
+    if reference_name is not None or reference_length is not None:
+        raise ValueError(
+            "write_sam takes contigs or reference_name/"
+            "reference_length, not both"
+        )
+    return list(contigs)
+
+
+class SamWriter:
+    """Streaming SAM writer, optionally coordinate-sorted.
+
+    The incremental counterpart of :func:`write_sam`: the @HD/@SQ/@PG
+    header goes out at construction and each :meth:`write` appends
+    one record, so a streaming mapping run (``repro map`` consuming
+    chunked reads) emits SAM with the memory footprint of one record.
+
+    ``sort=True`` turns on an ``@SQ``-order-aware coordinate sort
+    (``@HD SO:coordinate``): records order by (position of RNAME in
+    the header, POS, input order), with unmapped/unplaced records
+    (RNAME ``*``) last — the ``samtools sort`` convention.  Sorting
+    buffers at most ``run_size`` records in memory; larger outputs
+    spill sorted runs to anonymous temporary files that are k-way
+    merged on :meth:`close` (external merge sort), so the sorted path
+    keeps the same bounded-memory guarantee as the streaming one.
+
+    Records naming an RNAME absent from the header raise
+    :class:`SamFormatError` — such a record has no sort rank, and
+    emitting it unsorted would corrupt the declared ordering.
+    Use as a context manager, or call :meth:`close` (which writes any
+    buffered sorted body) when done.
+    """
+
+    #: Records buffered in memory before a sorted run is spilled.
+    DEFAULT_RUN_SIZE = 100_000
+
+    def __init__(
+        self,
+        target: PathOrHandle,
+        reference_name: str | None = None,
+        reference_length: int | None = None,
+        contigs: "Iterable[tuple[str, int]] | None" = None,
+        sort: bool = False,
+        run_size: int = DEFAULT_RUN_SIZE,
+    ) -> None:
+        if run_size < 1:
+            raise ValueError("run_size must be >= 1")
+        resolved = _resolve_contigs(reference_name, reference_length,
+                                    contigs)
+        self._handle, self._owned = _open_for_write(target)
+        self._sort = sort
+        self._run_size = run_size
+        self._rank = {name: rank
+                      for rank, (name, _) in enumerate(resolved)}
+        self._serial = 0
+        self._buffer: list[tuple[int, int, int, str]] = []
+        self._runs: list = []
+        self._closed = False
+        order = "coordinate" if sort else "unknown"
+        self._handle.write(f"@HD\tVN:1.6\tSO:{order}\n")
+        for name, length in resolved:
+            self._handle.write(f"@SQ\tSN:{name}\tLN:{length}\n")
+        self._handle.write("@PG\tID:segram-repro\tPN:segram-repro\n")
+
+    def write(self, record: SamRecord) -> None:
+        """Append one record (buffered until close when sorting)."""
+        line = sam_record_line(record)
+        if not self._sort:
+            self._handle.write(line)
+            return
+        if record.rname == "*":
+            rank = len(self._rank)
+        else:
+            try:
+                rank = self._rank[record.rname]
+            except KeyError:
+                raise SamFormatError(
+                    f"{record.qname}: RNAME {record.rname!r} is not "
+                    "in the @SQ header; cannot coordinate-sort"
+                ) from None
+        self._buffer.append((rank, record.pos, self._serial, line))
+        self._serial += 1
+        if len(self._buffer) >= self._run_size:
+            self._spill()
+
+    def _spill(self) -> None:
+        """Write the buffer as one sorted run to a temporary file."""
+        import tempfile
+
+        self._buffer.sort()
+        run = tempfile.TemporaryFile("w+", encoding="ascii")
+        for rank, pos, serial, line in self._buffer:
+            run.write(f"{rank}\t{pos}\t{serial}\t{line}")
+        self._runs.append(run)
+        self._buffer = []
+
+    @staticmethod
+    def _decode_run(run) -> "Iterable[tuple[int, int, int, str]]":
+        for raw in run:
+            rank, pos, serial, line = raw.split("\t", 3)
+            yield int(rank), int(pos), int(serial), line
+
+    def close(self) -> None:
+        """Flush the sorted body (if sorting) and release the file."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            if self._sort:
+                import heapq
+
+                self._buffer.sort()
+                streams = []
+                for run in self._runs:
+                    run.seek(0)
+                    streams.append(self._decode_run(run))
+                streams.append(iter(self._buffer))
+                for entry in heapq.merge(
+                        *streams, key=lambda e: e[:3]):
+                    self._handle.write(entry[3])
+        finally:
+            for run in self._runs:
+                run.close()
+            self._runs = []
+            self._buffer = []
+            if self._owned:
+                self._handle.close()
+
+    def __enter__(self) -> "SamWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
 def write_sam(
     target: PathOrHandle,
     records: Iterable[SamRecord],
     reference_name: str | None = None,
     reference_length: int | None = None,
     contigs: "Iterable[tuple[str, int]] | None" = None,
+    sort: bool = False,
 ) -> None:
     """Write records with a minimal @HD/@SQ header.
 
@@ -273,40 +436,16 @@ def write_sam(
     :meth:`repro.refs.ReferenceSet.sam_contigs`).  The legacy
     ``reference_name``/``reference_length`` pair is the single-contig
     shorthand; exactly one of the two forms must be given.
+    ``sort=True`` emits the records coordinate-sorted (see
+    :class:`SamWriter`).
     """
-    if contigs is None:
-        if reference_name is None or reference_length is None:
-            raise ValueError(
-                "write_sam needs either contigs or "
-                "reference_name + reference_length"
-            )
-        contigs = [(reference_name, reference_length)]
-    elif reference_name is not None or reference_length is not None:
-        raise ValueError(
-            "write_sam takes contigs or reference_name/"
-            "reference_length, not both"
-        )
-    handle, owned = _open_for_write(target)
+    writer = SamWriter(target, reference_name, reference_length,
+                       contigs, sort=sort)
     try:
-        handle.write("@HD\tVN:1.6\tSO:unknown\n")
-        for name, length in contigs:
-            handle.write(f"@SQ\tSN:{name}\tLN:{length}\n")
-        handle.write("@PG\tID:segram-repro\tPN:segram-repro\n")
         for record in records:
-            fields = [
-                record.qname, str(record.flag), record.rname,
-                str(record.pos), str(record.mapq), record.cigar,
-                record.rnext, str(record.pnext), str(record.tlen),
-                record.seq, "*",
-            ]
-            if record.edit_distance is not None:
-                fields.append(f"NM:i:{record.edit_distance}")
-            if record.pair_category is not None:
-                fields.append(f"YC:Z:{record.pair_category}")
-            handle.write("\t".join(fields) + "\n")
+            writer.write(record)
     finally:
-        if owned:
-            handle.close()
+        writer.close()
 
 
 def read_sam(source: PathOrHandle) -> list[SamRecord]:

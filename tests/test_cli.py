@@ -277,6 +277,156 @@ class TestMapPaired:
         assert len(read_sam(root / "out2.sam")) == 2 * len(fragments)
 
 
+class TestStreamingMap:
+    """Streamed input (--input-mode stream, gzip, any chunk size)
+    must produce byte-identical output to the fully materialized
+    path, across alignment backends and worker counts."""
+
+    @pytest.fixture(scope="class")
+    def stream_workspace(self, tmp_path_factory):
+        import gzip
+
+        from repro.sim.pairedend import (
+            PairedEndProfile,
+            simulate_fragments,
+        )
+
+        root = tmp_path_factory.mktemp("cli_stream")
+        rng = random.Random(0xFEED)
+        reference = random_reference(8_000, rng)
+        write_fasta(root / "ref.fa", [FastaRecord("chr1", reference)])
+
+        reads = [
+            FastqRecord(f"sr{i}",
+                        reference[start:start + 200], "I" * 200)
+            for i, start in enumerate(range(200, 6_200, 750))
+        ]
+        write_fastq(root / "reads.fq", reads)
+        with gzip.open(root / "reads.fq.gz", "wt",
+                       encoding="ascii") as handle:
+            write_fastq(handle, reads)
+
+        profile = PairedEndProfile.illumina(
+            read_length=100, error_rate=0.0,
+            insert_mean=350.0, insert_std=50.0,
+        )
+        fragments = simulate_fragments(reference, 6, rng, profile)
+        for index, name in ((1, "r1.fq"), (2, "r2.fq")):
+            mates = [getattr(f, f"mate{index}") for f in fragments]
+            records = [FastqRecord(m.name, m.sequence,
+                                   "I" * len(m.sequence))
+                       for m in mates]
+            write_fastq(root / name, records)
+            with gzip.open(root / f"{name}.gz", "wt",
+                           encoding="ascii") as handle:
+                write_fastq(handle, records)
+        return root, reads, fragments
+
+    def _map(self, root, out, reads, mode, backend, jobs,
+             extra=()):
+        code = main([
+            "map", "--reference", str(root / "ref.fa"),
+            "--reads", str(reads),
+            "--output", str(out),
+            "--align-backend", backend, "--jobs", str(jobs),
+            "--input-mode", mode, "--chunk-size", "3",
+            "--error-rate", "0.02",
+            *extra,
+        ])
+        assert code == 0
+        return out.read_bytes()
+
+    @pytest.mark.parametrize("backend", ["python", "numpy"])
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_single_end_modes_byte_identical(self, stream_workspace,
+                                             capsys, tmp_path,
+                                             backend, jobs):
+        root, reads, _ = stream_workspace
+        for fmt, suffix in (("sam", ".sam"), ("gaf", ".gaf")):
+            extra = ("--format", fmt)
+            mem = self._map(root, tmp_path / f"mem{suffix}",
+                            root / "reads.fq", "mem",
+                            backend, jobs, extra)
+            streamed = self._map(root, tmp_path / f"str{suffix}",
+                                 root / "reads.fq", "stream",
+                                 backend, jobs, extra)
+            gz = self._map(root, tmp_path / f"gz{suffix}",
+                           root / "reads.fq.gz", "stream",
+                           backend, jobs, extra)
+            assert mem == streamed == gz
+            assert len(mem) > 0
+        out = capsys.readouterr().out
+        assert f"mapped {len(reads)}/{len(reads)}" in out
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_paired_modes_byte_identical(self, stream_workspace,
+                                         capsys, tmp_path, jobs):
+        root, _, fragments = stream_workspace
+
+        def run(out, r2, mode):
+            code = main([
+                "map", "--reference", str(root / "ref.fa"),
+                "--reads", str(root / "r1.fq"),
+                "--paired", str(r2),
+                "--output", str(out),
+                "--jobs", str(jobs),
+                "--input-mode", mode, "--chunk-size", "2",
+                "--error-rate", "0.05",
+                "--early-exit-distance", "6",
+            ])
+            assert code == 0
+            return out.read_bytes()
+
+        mem = run(tmp_path / "mem.sam", root / "r2.fq", "mem")
+        streamed = run(tmp_path / "str.sam", root / "r2.fq",
+                       "stream")
+        gz = run(tmp_path / "gz.sam", root / "r2.fq.gz", "stream")
+        assert mem == streamed == gz
+        assert len(read_sam(tmp_path / "mem.sam")) == \
+            2 * len(fragments)
+
+    def test_sort_sam_orders_by_coordinate(self, stream_workspace,
+                                           capsys, tmp_path):
+        root, reads, _ = stream_workspace
+        data = self._map(root, tmp_path / "sorted.sam",
+                         root / "reads.fq", "stream", "python", 1,
+                         ("--format", "sam", "--sort-sam"))
+        header = data.decode("ascii").splitlines()[0]
+        assert "SO:coordinate" in header
+        records = read_sam(tmp_path / "sorted.sam")
+        keys = [(r.rname, r.pos) for r in records]
+        assert keys == sorted(keys)
+        assert len(records) == len(reads)
+
+    def test_qualified_paths_round_trip(self, stream_workspace,
+                                        capsys, tmp_path):
+        root, reads, _ = stream_workspace
+        data = self._map(root, tmp_path / "q.gaf",
+                         root / "reads.fq", "stream", "python", 1,
+                         ("--format", "gaf", "--qualified-paths"))
+        assert b">chr1#" in data
+        records = read_gaf(tmp_path / "q.gaf")
+        assert len(records) == len(reads)
+        for record in records:
+            assert record.segments
+            assert all(s.startswith("chr1#")
+                       for s in record.segments)
+
+    def test_stream_flag_validation(self, stream_workspace,
+                                    tmp_path):
+        root, *_ = stream_workspace
+        base = ["map", "--reference", str(root / "ref.fa"),
+                "--reads", str(root / "reads.fq"),
+                "--output", str(tmp_path / "x.out")]
+        with pytest.raises(SystemExit, match="--chunk-size"):
+            main([*base, "--chunk-size", "0"])
+        with pytest.raises(SystemExit,
+                           match="--sort-sam requires SAM"):
+            main([*base, "--sort-sam"])
+        with pytest.raises(SystemExit, match="--qualified-paths"):
+            main([*base, "--format", "sam", "--qualified-paths"])
+
+
 class TestModel:
     def test_workload_report(self, capsys):
         code = main(["model", "--workload", "pacbio"])

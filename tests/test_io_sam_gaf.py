@@ -21,6 +21,7 @@ from repro.io.sam import (
     FLAG_UNMAPPED,
     SamFormatError,
     SamRecord,
+    SamWriter,
     read_sam,
     result_to_sam,
     validate_sam_record,
@@ -290,3 +291,187 @@ class TestGaf:
     def test_short_line_rejected(self):
         with pytest.raises(GafFormatError):
             read_gaf(io.StringIO("r\t4\t0\t4\t+\t>1\n"))
+
+
+class TestSamWriterSorted:
+    """The streaming SamWriter's coordinate sort: header, ordering,
+    stability, and the external-merge spill path."""
+
+    CONTIGS = [("chr1", 6_000), ("chr2", 4_000)]
+
+    def _records(self, count, seed=11):
+        rng = random.Random(seed)
+        records = []
+        for i in range(count):
+            rname = self.CONTIGS[rng.randrange(2)][0]
+            # Deliberately collide positions so the (rank, pos,
+            # input-order) stability tiebreak is exercised.
+            pos = rng.randrange(1, 40)
+            records.append(SamRecord(qname=f"q{i}", flag=0,
+                                     rname=rname, pos=pos, mapq=60,
+                                     cigar="4=", seq="ACGT",
+                                     edit_distance=0))
+        return records
+
+    def _render(self, records, sort, run_size):
+        buffer = io.StringIO()
+        with SamWriter(buffer, contigs=self.CONTIGS, sort=sort,
+                       run_size=run_size) as writer:
+            for record in records:
+                writer.write(record)
+        return buffer.getvalue()
+
+    def test_unsorted_writer_matches_write_sam(self):
+        records = self._records(20)
+        streamed = self._render(records, sort=False, run_size=5)
+        batch = io.StringIO()
+        write_sam(batch, records, contigs=self.CONTIGS)
+        assert streamed == batch.getvalue()
+        assert "SO:unknown" in streamed
+
+    def test_sorted_header_and_order(self):
+        records = self._records(30)
+        text = self._render(records, sort=True, run_size=1_000)
+        assert text.splitlines()[0] == \
+            "@HD\tVN:1.6\tSO:coordinate"
+        parsed = read_sam(io.StringIO(text))
+        rank = {name: i for i, (name, _) in enumerate(self.CONTIGS)}
+        keys = [(rank[r.rname], r.pos) for r in parsed]
+        assert keys == sorted(keys)
+        assert sorted(r.qname for r in parsed) == \
+            sorted(r.qname for r in records)
+
+    def test_tiny_run_size_spill_matches_in_memory(self):
+        # run_size=7 over 60 records forces several on-disk runs;
+        # the k-way merge must reproduce the single-buffer sort
+        # byte for byte (including input-order stability for equal
+        # (rank, pos) keys).
+        records = self._records(60)
+        spilled = self._render(records, sort=True, run_size=7)
+        in_memory = self._render(records, sort=True,
+                                 run_size=10_000)
+        assert spilled == in_memory
+
+    def test_unmapped_records_sort_last(self):
+        records = self._records(6)
+        records.insert(0, SamRecord(qname="lost",
+                                    flag=FLAG_UNMAPPED, rname="*",
+                                    pos=0, mapq=0, cigar="*",
+                                    seq="ACGT"))
+        text = self._render(records, sort=True, run_size=3)
+        parsed = read_sam(io.StringIO(text))
+        assert parsed[-1].qname == "lost"
+
+    def test_unknown_rname_rejected_when_sorting(self):
+        writer = SamWriter(io.StringIO(), contigs=self.CONTIGS,
+                           sort=True)
+        record = SamRecord(qname="q", flag=0, rname="chrX", pos=1,
+                           mapq=60, cigar="4=", seq="ACGT")
+        with pytest.raises(SamFormatError, match="chrX"):
+            writer.write(record)
+
+    def test_run_size_validated(self):
+        with pytest.raises(ValueError):
+            SamWriter(io.StringIO(), contigs=self.CONTIGS,
+                      run_size=0)
+
+
+class TestQualifiedGaf:
+    """Contig-qualified path segments (``<contig>#<node-id>``):
+    emission, parse round-trip, and reference-set validation."""
+
+    @pytest.fixture(scope="class")
+    def refs_results(self, mapped_results):
+        from repro.api import as_reference_set
+
+        mapper, reference, results = mapped_results
+        refs = as_reference_set(mapper.graph, name="chr1")
+        return mapper, refs, results
+
+    def test_result_to_gaf_emits_qualified_segments(self,
+                                                    refs_results):
+        mapper, refs, results = refs_results
+        result, seq = results[0]
+        record = result_to_gaf(result, mapper.graph, seq, refs=refs)
+        contig = refs.contig_of_node(result.path_nodes[0])
+        assert record.segments == tuple(
+            f"{contig}#{node}" for node in result.path_nodes)
+        assert record.path_string.startswith(f">{contig}#")
+        validate_gaf_record(record, mapper.graph, refs=refs)
+
+    def test_qualified_byte_round_trip(self, refs_results,
+                                       tmp_path):
+        mapper, refs, results = refs_results
+        records = [result_to_gaf(r, mapper.graph, seq, refs=refs)
+                   for r, seq in results]
+        records = [r for r in records if r is not None]
+        path = tmp_path / "q.gaf"
+        write_gaf(path, records)
+        first = path.read_bytes()
+        parsed = read_gaf(path)
+        assert parsed == records
+        assert all(r.segments for r in parsed)
+        write_gaf(tmp_path / "q2.gaf", parsed)
+        assert (tmp_path / "q2.gaf").read_bytes() == first
+
+    def test_bare_paths_parse_without_segments(self,
+                                               refs_results,
+                                               tmp_path):
+        mapper, _, results = refs_results
+        record = result_to_gaf(results[0][0], mapper.graph,
+                               results[0][1])
+        write_gaf(tmp_path / "bare.gaf", [record])
+        parsed = read_gaf(tmp_path / "bare.gaf")
+        assert parsed[0].segments == ()
+
+    def test_validation_rejects_wrong_contig(self, refs_results):
+        mapper, refs, results = refs_results
+        result, seq = results[0]
+        record = result_to_gaf(result, mapper.graph, seq, refs=refs)
+        forged = tuple(f"chrBogus#{node}"
+                       for node in record.path)
+        bad = type(record)(
+            query_name=record.query_name,
+            query_length=record.query_length,
+            path=record.path,
+            path_length=record.path_length,
+            path_start=record.path_start,
+            path_end=record.path_end,
+            matches=record.matches,
+            block_length=record.block_length,
+            mapq=record.mapq,
+            cigar=record.cigar,
+            segments=forged,
+        )
+        validate_gaf_record(bad, mapper.graph)  # graph-only: fine
+        with pytest.raises(GafFormatError,
+                           match="does not match the reference"):
+            validate_gaf_record(bad, mapper.graph, refs=refs)
+
+    def test_segment_path_length_mismatch_rejected(self,
+                                                   refs_results):
+        mapper, refs, results = refs_results
+        record = result_to_gaf(results[0][0], mapper.graph,
+                               results[0][1], refs=refs)
+        with pytest.raises(ValueError, match="segments"):
+            type(record)(
+                query_name=record.query_name,
+                query_length=record.query_length,
+                path=record.path,
+                path_length=record.path_length,
+                path_start=record.path_start,
+                path_end=record.path_end,
+                matches=record.matches,
+                block_length=record.block_length,
+                mapq=record.mapq,
+                cigar=record.cigar,
+                segments=record.segments[:-1] or ("chr1#0",) * 9,
+            )
+
+    @pytest.mark.parametrize("segment", ["chr1#", "#5", "chr1#x",
+                                         "5#chr1#y", "chr1"])
+    def test_malformed_segment_rejected(self, segment):
+        line = (f"r\t4\t0\t4\t+\t>{segment}\t8\t0\t4\t4\t4\t60\n")
+        with pytest.raises(GafFormatError,
+                           match="neither a node ID"):
+            read_gaf(io.StringIO(line))
